@@ -1,0 +1,86 @@
+// Ablation: arithmetic implementation (§4.2).
+//
+// Fixed-point fractions vs the software floating-point library vs a
+// hardware FPU, across cache states. The paper's claims: the fixed-point
+// port saves ~20 us per decision over software FP on the FPU-less i960, and
+// "does not affect the quality of scheduling" — we also verify decision
+// equivalence by replaying an identical workload.
+#include <cstdio>
+
+#include "apps/experiments.hpp"
+#include "bench_util.hpp"
+#include "dwcs/scheduler.hpp"
+#include "sim/random.hpp"
+
+using namespace nistream;
+
+namespace {
+
+/// Dispatch trace of a random workload under one arithmetic mode.
+std::vector<std::pair<dwcs::StreamId, std::uint64_t>> trace(
+    dwcs::ArithMode mode) {
+  dwcs::DwcsScheduler::Config cfg;
+  cfg.arith = mode;
+  dwcs::DwcsScheduler s{cfg};
+  sim::Rng rng{31337};
+  std::vector<dwcs::StreamId> ids;
+  for (int i = 0; i < 8; ++i) {
+    const auto y = 2 + static_cast<std::int64_t>(rng.below(8));
+    const auto x = static_cast<std::int64_t>(rng.below(static_cast<std::uint64_t>(y)));
+    ids.push_back(s.create_stream({.tolerance = {x, y},
+                                   .period = sim::Time::ms(10 * (1 + static_cast<double>(rng.below(3)))),
+                                   .lossy = rng.chance(0.5)},
+                                  sim::Time::zero()));
+  }
+  std::vector<std::pair<dwcs::StreamId, std::uint64_t>> out;
+  std::uint64_t fid = 0;
+  for (int t = 0; t < 5000; t += 5) {
+    for (const auto id : ids) {
+      if (t % 20 == 0) {
+        s.enqueue(id,
+                  dwcs::FrameDescriptor{.frame_id = fid++, .bytes = 1000,
+                                        .type = mpeg::FrameType::kP,
+                                        .enqueued_at = sim::Time::ms(t)},
+                  sim::Time::ms(t));
+      }
+    }
+    if (t % 10 == 0) {
+      if (const auto d = s.schedule_next(sim::Time::ms(t))) {
+        out.emplace_back(d->stream, d->frame.frame_id);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Ablation: arithmetic mode (avg frame sched time, us)");
+
+  std::printf("  %-22s %14s %14s %14s\n", "config", "fixed-point",
+              "software-FP", "native-FPU");
+  for (const bool cache : {false, true}) {
+    std::printf("  d-cache %-14s", cache ? "enabled" : "disabled");
+    for (const auto mode :
+         {dwcs::ArithMode::kFixedPoint, dwcs::ArithMode::kSoftFloat,
+          dwcs::ArithMode::kNativeFloat}) {
+      apps::MicrobenchConfig cfg;
+      cfg.arith = mode;
+      cfg.dcache_enabled = cache;
+      std::printf(" %14.2f", apps::run_microbench(cfg).avg_frame_sched_us);
+    }
+    std::printf("\n");
+  }
+
+  // Quality equivalence: identical decisions across arithmetic modes.
+  const auto fixed = trace(dwcs::ArithMode::kFixedPoint);
+  const auto soft = trace(dwcs::ArithMode::kSoftFloat);
+  const auto native = trace(dwcs::ArithMode::kNativeFloat);
+  const bool identical = fixed == soft && fixed == native;
+  std::printf("  decision-trace equivalence across modes: %s (%zu dispatches)\n",
+              identical ? "IDENTICAL" : "DIVERGED", fixed.size());
+  bench::note("Paper: \"Using the fixed point version does not affect the");
+  bench::note("quality of scheduling\" — all modes make the same decisions.");
+  return identical ? 0 : 1;
+}

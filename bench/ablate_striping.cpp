@@ -1,0 +1,69 @@
+// Ablation: Tiger-style disk striping (paper §5).
+//
+// "DWCS could also take advantage of the stripe-based disk and machine
+// scheduling methods advocated by the Tiger video server". The producer side
+// of an NI is disk-bound when many streams pull from one spindle; striping
+// the media volume across the board's SCSI ports multiplies the sustainable
+// producer rate. We measure frames/second off the volume for 1..4 member
+// disks under the media access pattern (64 KB stripe, 8 KB frames).
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "hw/striped_volume.hpp"
+
+using namespace nistream;
+using sim::Time;
+
+namespace {
+
+double frames_per_second(int width) {
+  sim::Engine eng;
+  std::vector<std::unique_ptr<hw::ScsiDisk>> owned;
+  std::vector<hw::ScsiDisk*> disks;
+  for (int i = 0; i < width; ++i) {
+    owned.push_back(std::make_unique<hw::ScsiDisk>(
+        eng, hw::kScsiDisk, static_cast<std::uint64_t>(300 + i)));
+    disks.push_back(owned.back().get());
+  }
+  hw::StripedVolume vol{eng, disks};
+  // Interleaved multi-stream access: 8 concurrent readers sweeping separate
+  // file regions (the worst case for a single spindle: every read seeks).
+  constexpr int kReaders = 8;
+  constexpr int kFramesEach = 60;
+  constexpr std::uint32_t kFrameBytes = 8192;
+  int done_readers = 0;
+  for (int r = 0; r < kReaders; ++r) {
+    [](sim::Engine&, hw::StripedVolume& v, int reader, int frames,
+       int* done) -> sim::Coro {
+      for (int k = 0; k < frames; ++k) {
+        const std::uint64_t off =
+            static_cast<std::uint64_t>(reader) * 400'000'000 +
+            static_cast<std::uint64_t>(k) * 5'000'000;
+        co_await v.read(off, kFrameBytes);
+      }
+      ++*done;
+    }(eng, vol, r, kFramesEach, &done_readers)
+        .detach();
+  }
+  const Time t = eng.run();
+  (void)done_readers;
+  return kReaders * kFramesEach / t.to_sec();
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Ablation: striped media volume (producer-side disk bound)");
+  std::printf("  %-8s %16s %10s\n", "disks", "frames/sec", "speedup");
+  double base = 0;
+  for (const int width : {1, 2, 3, 4}) {
+    const double fps = frames_per_second(width);
+    if (width == 1) base = fps;
+    std::printf("  %-8d %16.1f %9.2fx\n", width, fps, fps / base);
+  }
+  bench::note("Stripe width multiplies the sustainable producer frame rate;");
+  bench::note("the i960 RD's two SCSI ports buy ~2x before the NI CPU or the");
+  bench::note("100 Mbps link becomes the binding constraint.");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Shared output helpers for the reproduction benches.
+//
+// Every bench prints (a) the paper's reported numbers, (b) this build's
+// measured numbers, so a run reads as a side-by-side reproduction check.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/stats.hpp"
+
+namespace nistream::bench {
+
+inline void header(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+inline void row(const char* label, double paper, double measured,
+                const char* unit) {
+  const double delta =
+      paper != 0.0 ? 100.0 * (measured - paper) / paper : 0.0;
+  std::printf("  %-38s paper %10.2f %-5s  measured %10.2f %-5s  (%+.1f%%)\n",
+              label, paper, unit, measured, unit, delta);
+}
+
+inline void note(const char* text) { std::printf("  %s\n", text); }
+
+/// Print a (time, value) series as aligned columns, downsampled to at most
+/// `max_rows` rows — enough to eyeball against the paper's figures.
+inline void print_series(const sim::TimeSeries& ts, const char* value_label,
+                         std::size_t max_rows = 25) {
+  const auto& pts = ts.points();
+  if (pts.empty()) {
+    std::printf("  (empty series)\n");
+    return;
+  }
+  const std::size_t stride = pts.size() > max_rows ? pts.size() / max_rows : 1;
+  std::printf("  %10s  %12s\n", "time_s", value_label);
+  for (std::size_t i = 0; i < pts.size(); i += stride) {
+    std::printf("  %10.1f  %12.0f\n", pts[i].first.to_sec(), pts[i].second);
+  }
+}
+
+/// When NISTREAM_CSV_DIR is set, write the series there as
+/// `<name>.csv` (plot-ready) and say so; otherwise do nothing.
+inline void maybe_write_csv(const sim::TimeSeries& ts, const std::string& name,
+                            const char* value_label) {
+  const char* dir = std::getenv("NISTREAM_CSV_DIR");
+  if (!dir) return;
+  const std::string path = std::string{dir} + "/" + name + ".csv";
+  std::ofstream out{path};
+  if (!out) {
+    std::printf("  (could not write %s)\n", path.c_str());
+    return;
+  }
+  ts.write_csv(out, value_label);
+  std::printf("  wrote %s\n", path.c_str());
+}
+
+/// CSV for (frame#, value) sequences (the Figure 8/10 x-axis).
+inline void maybe_write_frame_csv(
+    const std::vector<std::pair<std::uint64_t, double>>& points,
+    const std::string& name, const char* value_label) {
+  const char* dir = std::getenv("NISTREAM_CSV_DIR");
+  if (!dir) return;
+  const std::string path = std::string{dir} + "/" + name + ".csv";
+  std::ofstream out{path};
+  if (!out) return;
+  out << "frame," << value_label << "\n";
+  for (const auto& [frame, v] : points) out << frame << ',' << v << "\n";
+  std::printf("  wrote %s\n", path.c_str());
+}
+
+}  // namespace nistream::bench

@@ -1,0 +1,44 @@
+// Figure 10 — NI-based scheduler queuing delay: "unaffected by system load".
+//
+// Paper: maximum queuing delay ~11,000 ms for s1 (cf. ~10,000 ms for the
+// host-based scheduler without load, Figure 8), identical with and without
+// the 60% web load on the host.
+#include "apps/experiments.hpp"
+#include "bench_util.hpp"
+
+using namespace nistream;
+
+int main() {
+  bench::header("Figure 10: NI scheduler queuing delay, immune to host load");
+
+  apps::LoadExperimentConfig unloaded;
+  unloaded.target_utilization = 0.0;
+  const auto base = apps::run_ni_load_experiment(unloaded);
+
+  apps::LoadExperimentConfig loaded;
+  loaded.target_utilization = 0.60;
+  const auto under_load = apps::run_ni_load_experiment(loaded);
+
+  std::printf(" -- no web load --\n");
+  bench::row("s1 max queuing delay", 11000.0, base.s1.max_qdelay_ms, "ms");
+  std::printf(" -- 60%% web load on the host --\n");
+  bench::row("s1 max queuing delay", 11000.0, under_load.s1.max_qdelay_ms,
+             "ms");
+  bench::row("s2 max queuing delay", 11000.0, under_load.s2.max_qdelay_ms,
+             "ms");
+
+  std::printf(" Checks:\n");
+  bench::row("loaded/unloaded max-delay ratio (immunity)", 1.0,
+             under_load.s1.max_qdelay_ms / base.s1.max_qdelay_ms, "x");
+
+  bench::maybe_write_frame_csv(under_load.s1.qdelay_ms, "fig10_qdelay_loaded",
+                               "qdelay_ms");
+  std::printf("  %10s  %14s\n", "frame#", "qdelay_ms");
+  const auto& q = under_load.s1.qdelay_ms;
+  const std::size_t stride = q.size() > 15 ? q.size() / 15 : 1;
+  for (std::size_t i = 0; i < q.size(); i += stride) {
+    std::printf("  %10llu  %14.0f\n",
+                static_cast<unsigned long long>(q[i].first), q[i].second);
+  }
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Figure 7 — Host-based scheduler: per-stream bandwidth vs time under load.
+//
+// Paper: streams settle near 250 kbit/s with no load; at 45% average
+// utilization bandwidth dips and settles ~230 kbit/s (-8%); at 60% it
+// degrades severely, settling below 125 kbit/s (about half).
+#include "apps/experiments.hpp"
+#include "bench_util.hpp"
+
+#include <string>
+
+using namespace nistream;
+
+int main() {
+  bench::header("Figure 7: host scheduler bandwidth variation with load");
+
+  double noload_settle = 0;
+  for (const double target : {0.0, 0.45, 0.60}) {
+    apps::LoadExperimentConfig cfg;
+    cfg.target_utilization = target;
+    const auto r = apps::run_host_load_experiment(cfg);
+    std::printf("\n -- web load target: %s --\n",
+                target == 0.0 ? "none" : (target == 0.45 ? "45%" : "60%"));
+    const double paper_settle =
+        target == 0.0 ? 250e3 : (target == 0.45 ? 230e3 : 120e3);
+    bench::row("s1 settling bandwidth", paper_settle,
+               r.s1.settle_bandwidth_bps, "bps");
+    bench::row("s2 settling bandwidth", paper_settle,
+               r.s2.settle_bandwidth_bps, "bps");
+    if (target == 0.0) noload_settle = r.s1.settle_bandwidth_bps;
+    if (target == 0.60) {
+      bench::row("60%-load settle as fraction of no-load", 0.5,
+                 r.s1.settle_bandwidth_bps / noload_settle, "x");
+    }
+    bench::print_series(r.s1.bandwidth_bps, "s1_bps", 20);
+    bench::maybe_write_csv(r.s1.bandwidth_bps,
+                           "fig7_bw_" + std::to_string(int(target * 100)),
+                           "s1_bps");
+  }
+  return 0;
+}

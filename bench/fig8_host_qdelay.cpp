@@ -1,0 +1,55 @@
+// Figure 8 — Host-based scheduler: queuing delay vs frames sent under load.
+//
+// Paper: with no load the delay climbs to ~10,000 ms over the first ~300
+// frames; at 45% load frames suffer ~2 s extra; at 60% the delay reaches up
+// to three times the no-load value (~30,000 ms).
+#include "apps/experiments.hpp"
+#include "bench_util.hpp"
+
+#include <string>
+
+using namespace nistream;
+
+namespace {
+
+void print_qdelay(const std::vector<std::pair<std::uint64_t, double>>& q,
+                  std::size_t max_rows = 15) {
+  if (q.empty()) return;
+  const std::size_t stride = q.size() > max_rows ? q.size() / max_rows : 1;
+  std::printf("  %10s  %14s\n", "frame#", "qdelay_ms");
+  for (std::size_t i = 0; i < q.size(); i += stride) {
+    std::printf("  %10llu  %14.0f\n",
+                static_cast<unsigned long long>(q[i].first), q[i].second);
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Figure 8: host scheduler queuing delay vs frames sent");
+
+  double noload_max = 0;
+  for (const double target : {0.0, 0.45, 0.60}) {
+    apps::LoadExperimentConfig cfg;
+    cfg.target_utilization = target;
+    const auto r = apps::run_host_load_experiment(cfg);
+    std::printf("\n -- web load target: %s --\n",
+                target == 0.0 ? "none" : (target == 0.45 ? "45%" : "60%"));
+    const double paper_max =
+        target == 0.0 ? 10000.0 : (target == 0.45 ? 12000.0 : 30000.0);
+    bench::row("s1 max queuing delay", paper_max, r.s1.max_qdelay_ms, "ms");
+    bench::row("s1 delay at frame 300",
+               target == 0.0 ? 10000.0 : (target == 0.45 ? 10500 : 11000),
+               r.s1.qdelay_at_frame(300), "ms");
+    if (target == 0.0) noload_max = r.s1.max_qdelay_ms;
+    if (target == 0.60) {
+      bench::row("60%-load max delay vs no-load", 3.0,
+                 r.s1.max_qdelay_ms / noload_max, "x");
+    }
+    print_qdelay(r.s1.qdelay_ms);
+    bench::maybe_write_frame_csv(
+        r.s1.qdelay_ms, "fig8_qdelay_" + std::to_string(int(target * 100)),
+        "qdelay_ms");
+  }
+  return 0;
+}

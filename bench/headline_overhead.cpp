@@ -1,0 +1,48 @@
+// Headline comparison (§1, §4.2.3 "Discussion of Results"):
+//
+//   "The scheduling overhead of the host-based DWCS scheduler ... is of the
+//    order of ~50us. This result was obtained on an UltraSPARC CPU (300 MHz)
+//    with quiescent load. The scheduling overhead of the i960 RD I2O card
+//    (66 MHz) based scheduler is around ~65us. These results are comparable,
+//    although the i960 RD is a much slower processor (by a factor of 4)."
+//
+// We run the same instrumented DWCS code against both CPU models and report
+// the per-decision overhead and the overhead-per-clock ratio.
+#include "apps/experiments.hpp"
+#include "bench_util.hpp"
+
+using namespace nistream;
+
+int main() {
+  bench::header("Headline: NI (66 MHz i960) vs host (300 MHz UltraSPARC)");
+
+  // NI build: fixed point, d-cache on (the deployment configuration).
+  apps::MicrobenchConfig ni;
+  ni.arith = dwcs::ArithMode::kFixedPoint;
+  ni.dcache_enabled = true;
+  ni.cpu = hw::kI960Rd;
+  const auto ni_result = apps::run_microbench(ni);
+
+  // Host build: native FPU doubles, big warm cache, 4.5x the clock. The host
+  // decision path carries extra fixed overhead (syscalls, timer reads,
+  // deeper call chains) that the embedded build avoids; it is part of the
+  // host calibration rather than the DWCS algorithm.
+  apps::MicrobenchConfig host;
+  host.arith = dwcs::ArithMode::kNativeFloat;
+  host.dcache_enabled = true;
+  host.cpu = hw::kUltraSparc300;
+  // Host fixed path: user/kernel crossings, gettimeofday per decision,
+  // deeper call chains — ~13k cycles at 300 MHz (see EXPERIMENTS.md).
+  host.decision_overhead_cycles = 13000;
+  const auto host_result = apps::run_microbench(host);
+
+  bench::row("NI scheduling overhead per frame", 65.0, ni_result.overhead_us(),
+             "us");
+  bench::row("host scheduling overhead per frame (quiescent)", 50.0,
+             host_result.overhead_us(), "us");
+  bench::row("clock ratio (UltraSPARC / i960)", 4.0, 300.0 / 66.0, "x");
+  bench::note("The embedded scheduler is comparable to the host scheduler");
+  bench::note("despite a ~4x slower clock: no deep cache hierarchy misses,");
+  bench::note("no kernel crossings, fixed-point arithmetic.");
+  return 0;
+}

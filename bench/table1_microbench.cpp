@@ -1,0 +1,44 @@
+// Table 1 — Scheduler microbenchmarks, data cache DISABLED.
+//
+// Paper values (§4.2, Table 1), in microseconds:
+//                         Software FP     Fixed Point
+//   Total Sched time        19580.88        16425.36
+//   Avg frame Sched time      129.67          108.48
+//   Total time w/o Sched       5210.88         4583.28
+//   Avg frame w/o Sched          34.6            30.35
+#include "apps/experiments.hpp"
+#include "bench_util.hpp"
+
+using namespace nistream;
+
+int main() {
+  bench::header("Table 1: scheduler microbenchmarks (data cache disabled)");
+
+  apps::MicrobenchConfig cfg;
+  cfg.dcache_enabled = false;
+
+  cfg.arith = dwcs::ArithMode::kSoftFloat;
+  const auto soft = apps::run_microbench(cfg);
+  std::printf(" Software FP:\n");
+  bench::row("Total Sched time", 19580.88, soft.total_sched_us, "us");
+  bench::row("Avg frame Sched time", 129.67, soft.avg_frame_sched_us, "us");
+  bench::row("Total time w/o Scheduler", 5210.88, soft.total_wo_sched_us, "us");
+  bench::row("Avg frame time w/o Scheduler", 34.6, soft.avg_frame_wo_sched_us,
+             "us");
+
+  cfg.arith = dwcs::ArithMode::kFixedPoint;
+  const auto fixed = apps::run_microbench(cfg);
+  std::printf(" Fixed Point:\n");
+  bench::row("Total Sched time", 16425.36, fixed.total_sched_us, "us");
+  bench::row("Avg frame Sched time", 108.48, fixed.avg_frame_sched_us, "us");
+  bench::row("Total time w/o Scheduler", 4583.28, fixed.total_wo_sched_us, "us");
+  bench::row("Avg frame time w/o Scheduler", 30.35,
+             fixed.avg_frame_wo_sched_us, "us");
+
+  std::printf(" Checks:\n");
+  bench::row("FP-library overhead per decision (~20us)", 21.2,
+             soft.avg_frame_sched_us - fixed.avg_frame_sched_us, "us");
+  bench::row("Fixed-point overhead, cache off (~75us)", 78.1,
+             fixed.overhead_us(), "us");
+  return 0;
+}

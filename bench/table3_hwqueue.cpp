@@ -1,0 +1,42 @@
+// Table 3 — Scheduler microbenchmarks with frame descriptors in the i960's
+// memory-mapped "hardware queue" registers (1004 x 32-bit), data cache
+// enabled, fixed-point build.
+//
+// Paper values (§4.2.1, Table 3), microseconds:
+//   Total Sched time          14569.68
+//   Avg frame Sched time      72.48, 96.48   (two reported runs)
+//   Total time w/o Scheduler   4199.04
+//   Avg frame w/o Scheduler      27.80
+//
+// The finding to reproduce: descriptor access through the register file is
+// *comparable* to pinned cacheable memory (Table 2) — on-chip registers cost
+// no external bus cycles, much like warm cache lines.
+#include "apps/experiments.hpp"
+#include "bench_util.hpp"
+
+using namespace nistream;
+
+int main() {
+  bench::header("Table 3: 'hardware queue' descriptor microbenchmarks");
+
+  apps::MicrobenchConfig cfg;
+  cfg.arith = dwcs::ArithMode::kFixedPoint;
+  cfg.dcache_enabled = true;
+  cfg.residency = dwcs::DescriptorResidency::kHardwareQueue;
+  const auto hwq = apps::run_microbench(cfg);
+
+  bench::row("Total Sched time", 14569.68, hwq.total_sched_us, "us");
+  bench::row("Avg frame Sched time", 96.48, hwq.avg_frame_sched_us, "us");
+  bench::row("Total time w/o Scheduler", 4199.04, hwq.total_wo_sched_us, "us");
+  bench::row("Avg frame time w/o Scheduler", 27.80,
+             hwq.avg_frame_wo_sched_us, "us");
+
+  cfg.residency = dwcs::DescriptorResidency::kPinnedMemory;
+  const auto pinned = apps::run_microbench(cfg);
+  std::printf(" Checks (comparable to Table 2's pinned-memory numbers):\n");
+  bench::row("Avg sched time delta vs pinned memory", 96.48 - 94.60,
+             hwq.avg_frame_sched_us - pinned.avg_frame_sched_us, "us");
+  bench::note("Register-file descriptors perform comparably to pinned memory");
+  bench::note("with a warm d-cache: neither pays external bus cycles.");
+  return 0;
+}

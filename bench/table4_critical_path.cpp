@@ -1,0 +1,39 @@
+// Table 4 — Critical-path benchmarks: 1000-byte frame transfer latency from
+// disk to remote client, averaged over 1000 transfers, for the three frame
+// paths of Figure 3.
+//
+// Paper values (§4.2.2, Table 4), milliseconds per frame:
+//   Expt I   Disk-Host CPU-I/O Bus-Network:     1 (UFS) / 8 (VxWorks dosFs)
+//   Expt II  NI Disk-NI CPU-Network:            5.4
+//   Expt III Disk-I/O Bus-NI CPU-Network:       5.415  (4.2disk+1.2net+0.015pci)
+#include "apps/experiments.hpp"
+#include "bench_util.hpp"
+
+using namespace nistream;
+
+int main() {
+  bench::header("Table 4: critical-path frame-transfer benchmarks");
+  const auto r = apps::run_critical_path(/*n_transfers=*/1000);
+
+  bench::row("Expt I  (Path A, UFS)", 1.0, r.expt1_ufs_ms, "ms");
+  bench::row("Expt I  (Path A, VxWorks dosFs)", 8.0, r.expt1_dosfs_ms, "ms");
+  bench::row("Expt II (Path C, NI disk->NI->net)", 5.4, r.expt2_ms, "ms");
+  bench::row("Expt III(Path B, disk->PCI->NI->net)", 5.415, r.expt3_ms, "ms");
+
+  std::printf(" Expt III decomposition:\n");
+  bench::row("disk component", 4.2, r.expt3_disk_ms, "ms");
+  bench::row("net component", 1.2, r.expt3_net_ms, "ms");
+  bench::row("pci component", 0.015, r.expt3_pci_ms, "ms");
+
+  std::printf(" Shape checks:\n");
+  bench::note(r.expt1_ufs_ms < r.expt2_ms
+                  ? "ok: cached UFS host path beats NI paths on latency"
+                  : "MISMATCH: UFS path should be fastest");
+  bench::note(r.expt1_dosfs_ms > r.expt2_ms
+                  ? "ok: uncached dosFs host path is the slowest"
+                  : "MISMATCH: dosFs path should be slowest");
+  bench::note(r.expt3_ms - r.expt2_ms < 0.1
+                  ? "ok: Path B adds only ~15 us of PCI to Path C"
+                  : "MISMATCH: Path B should cost ~0.015 ms over Path C");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Remote MPEG client model.
+//
+// Attaches to the scheduler's Ethernet port over the switched 100 Mbps
+// interconnect and measures what the paper's client-side instrumentation
+// measured: per-stream delivered bandwidth (Figures 7 and 9) and end-to-end
+// frame latency (Table 4's methodology).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "hw/ethernet.hpp"
+#include "net/udp.hpp"
+#include "sim/engine.hpp"
+#include "sim/stats.hpp"
+
+namespace nistream::apps {
+
+class MpegClient {
+ public:
+  /// `bw_window`/`bw_sample` configure the bandwidth meter granularity used
+  /// for the Figure 7/9 series.
+  MpegClient(sim::Engine& engine, hw::EthernetSwitch& ether,
+             sim::Time stack_cost = net::kHostStackCost,
+             sim::Time bw_window = sim::Time::sec(2),
+             sim::Time bw_sample = sim::Time::ms(500))
+      : engine_{engine}, bw_window_{bw_window}, bw_sample_{bw_sample},
+        endpoint_{engine, ether, stack_cost,
+                  [this](const net::Packet& p, sim::Time at) { receive(p, at); }} {}
+
+  [[nodiscard]] int port() const { return endpoint_.port(); }
+
+  /// Delivered-bandwidth series for one stream (bits/second).
+  [[nodiscard]] const sim::TimeSeries& bandwidth(std::uint64_t stream_id) {
+    return meter(stream_id).series();
+  }
+  /// Flush bandwidth samples to `t` (call once at the end of a run).
+  void finish(sim::Time t) {
+    for (auto& [id, m] : meters_) m->finish(t);
+  }
+
+  [[nodiscard]] std::uint64_t frames_received(std::uint64_t stream_id) const {
+    const auto it = counts_.find(stream_id);
+    return it == counts_.end() ? 0 : it->second;
+  }
+  [[nodiscard]] std::uint64_t total_frames() const { return total_frames_; }
+  [[nodiscard]] std::uint64_t total_bytes() const { return total_bytes_; }
+
+  /// End-to-end latency (enqueue at the server to delivery here), ms.
+  [[nodiscard]] const sim::RunningStat& latency_ms() const { return latency_; }
+  /// Dispatch-to-delivery (network-only) latency, ms.
+  [[nodiscard]] const sim::RunningStat& net_latency_ms() const {
+    return net_latency_;
+  }
+
+ private:
+  sim::RateMeter& meter(std::uint64_t stream_id) {
+    auto it = meters_.find(stream_id);
+    if (it == meters_.end()) {
+      it = meters_
+               .emplace(stream_id, std::make_unique<sim::RateMeter>(
+                                       bw_window_, bw_sample_,
+                                       "stream" + std::to_string(stream_id)))
+               .first;
+    }
+    return *it->second;
+  }
+
+  void receive(const net::Packet& p, sim::Time at) {
+    meter(p.stream_id).record(at, p.bytes);
+    ++counts_[p.stream_id];
+    ++total_frames_;
+    total_bytes_ += p.bytes;
+    latency_.add((at - p.enqueued_at).to_ms());
+    net_latency_.add((at - p.dispatched_at).to_ms());
+  }
+
+  sim::Engine& engine_;
+  sim::Time bw_window_;
+  sim::Time bw_sample_;
+  net::UdpEndpoint endpoint_;
+  std::map<std::uint64_t, std::unique_ptr<sim::RateMeter>> meters_;
+  std::map<std::uint64_t, std::uint64_t> counts_;
+  std::uint64_t total_frames_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  sim::RunningStat latency_;
+  sim::RunningStat net_latency_;
+};
+
+}  // namespace nistream::apps

@@ -1,0 +1,82 @@
+// The two media-server organizations the paper compares.
+//
+// * HostSchedulerServer — DWCS runs as a Solaris process on the host CPU
+//   (optionally pbind-bound), dispatching through a plain (82557-style) NIC.
+//   Frames traverse the host: this is Path A of Figure 3 and the setup of
+//   Figures 6-8.
+// * NiSchedulerServer — DWCS runs inside the DVCM DWCS extension on an
+//   i960 RD board under VxWorks; the host (or a peer NI) only produces
+//   frames. This is Paths B/C and the setup of Figures 9-10.
+#pragma once
+
+#include <memory>
+
+#include "dvcm/dwcs_extension.hpp"
+#include "dvcm/host_api.hpp"
+#include "dvcm/runtime.hpp"
+#include "dvcm/stream_service.hpp"
+#include "hostos/host.hpp"
+#include "hw/nic_board.hpp"
+#include "net/udp.hpp"
+#include "rtos/wind.hpp"
+
+namespace nistream::apps {
+
+class HostSchedulerServer {
+ public:
+  /// `affinity` >= 0 binds the scheduler process to that CPU (Solaris pbind,
+  /// as the paper does).
+  HostSchedulerServer(hostos::HostMachine& host, hw::EthernetSwitch& ether,
+                      dvcm::StreamService::Config config = {},
+                      const hw::Calibration& cal = {}, int affinity = -1)
+      : service_{host.engine(), config, host.cpu_model(), cal.host_int,
+                 cal.host_fpu, /*memory=*/nullptr},
+        endpoint_{host.engine(), ether, net::kHostStackCost,
+                  net::UdpEndpoint::Receiver{}},
+        proc_{host.spawn("dwcs-sched", hostos::kDefaultPriority, affinity)} {
+    service_.run(proc_, endpoint_).detach();
+  }
+
+  [[nodiscard]] dvcm::StreamService& service() { return service_; }
+  [[nodiscard]] net::UdpEndpoint& endpoint() { return endpoint_; }
+  [[nodiscard]] hostos::Process& process() { return proc_; }
+
+ private:
+  dvcm::StreamService service_;
+  net::UdpEndpoint endpoint_;
+  hostos::Process& proc_;
+};
+
+class NiSchedulerServer {
+ public:
+  NiSchedulerServer(sim::Engine& engine, hw::PciBus& bus,
+                    hw::EthernetSwitch& ether,
+                    dvcm::StreamService::Config config = {},
+                    const hw::Calibration& cal = {})
+      : board_{"scheduler-ni", engine, bus, ether,
+               [](const hw::EthFrame&) {}, cal},
+        kernel_{engine, board_.cpu(), cal.rtos},
+        runtime_{board_, kernel_},
+        host_api_{engine, board_.i2o()} {
+    auto ext = std::make_unique<dvcm::DwcsExtension>(config, ether, cal);
+    extension_ = ext.get();
+    runtime_.start();
+    runtime_.load_extension(std::move(ext));
+  }
+
+  [[nodiscard]] hw::NicBoard& board() { return board_; }
+  [[nodiscard]] rtos::WindKernel& kernel() { return kernel_; }
+  [[nodiscard]] dvcm::VcmRuntime& runtime() { return runtime_; }
+  [[nodiscard]] dvcm::VcmHostApi& host_api() { return host_api_; }
+  [[nodiscard]] dvcm::DwcsExtension& extension() { return *extension_; }
+  [[nodiscard]] dvcm::StreamService& service() { return extension_->service(); }
+
+ private:
+  hw::NicBoard board_;
+  rtos::WindKernel kernel_;
+  dvcm::VcmRuntime runtime_;
+  dvcm::VcmHostApi host_api_;
+  dvcm::DwcsExtension* extension_;
+};
+
+}  // namespace nistream::apps

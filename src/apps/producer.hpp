@@ -1,0 +1,119 @@
+// Stream producers: the MPEG segmentation processes that feed frames into
+// scheduler queues (§4.1), in the three frame-transfer configurations of
+// Figure 3.
+//
+// * NiDiskProducer  — a wind task on a disk-attached i960 board. Path C when
+//   the scheduler lives on the same board (no bus at all); Path B when the
+//   frames cross the PCI bus by peer-to-peer DMA to a dedicated
+//   scheduler-NI.
+// * HostFileProducer — a host process reading the file through a host
+//   filesystem (UFS or mounted dosFs) into a host-resident scheduler:
+//   Path A.
+//
+// Producers respect ring backpressure: a rejected frame is retried after a
+// short backoff instead of being lost.
+#pragma once
+
+#include <cstdint>
+
+#include "dvcm/stream_service.hpp"
+#include "hostos/filesystem.hpp"
+#include "hostos/host.hpp"
+#include "hw/pci.hpp"
+#include "hw/scsi_disk.hpp"
+#include "mpeg/frame.hpp"
+#include "rtos/wind.hpp"
+#include "sim/coro.hpp"
+
+namespace nistream::apps {
+
+/// Per-frame CPU cost of segmenting (start-code scan + header decode).
+inline constexpr std::int64_t kSegmentationCyclesPerFrame = 900;
+/// Backoff before retrying a ring-full enqueue.
+inline constexpr sim::Time kEnqueueBackoff = sim::Time::ms(5);
+
+struct ProducerStats {
+  std::uint64_t frames_produced = 0;
+  std::uint64_t retries = 0;
+  bool finished = false;
+  sim::Time finished_at;
+};
+
+/// Production pacing. The paper's producers prime the scheduler queues with
+/// an initial burst (the player's pre-roll buffer fill), then feed frames at
+/// the stream's nominal rate. An unpaced producer (pace == 0) pushes as fast
+/// as the disk allows.
+struct ProducerPacing {
+  int burst_frames = 0;       // frames pushed back-to-back at start
+  sim::Time pace = sim::Time::zero();  // inter-frame gap afterwards
+};
+
+/// Produce every frame of `file` from an NI-attached disk into `service`.
+/// `cross_bus` non-null models Path B: each frame DMAs across the PCI bus to
+/// the scheduler card; null is Path C (same card, no bus traffic).
+inline sim::Coro ni_disk_producer(sim::Engine& engine, hw::ScsiDisk& disk,
+                                  rtos::Task& task, const mpeg::MpegFile& file,
+                                  dvcm::StreamService& service,
+                                  dwcs::StreamId stream, hw::PciBus* cross_bus,
+                                  ProducerStats& stats,
+                                  std::uint64_t disk_offset = 0,
+                                  ProducerPacing pacing = {}) {
+  std::uint64_t offset = disk_offset;
+  int produced = 0;
+  for (const auto& frame : file.frames) {
+    if (pacing.pace > sim::Time::zero() && produced >= pacing.burst_frames) {
+      co_await sim::Delay{engine, pacing.pace};
+    }
+    co_await disk.read(offset, frame.bytes);
+    offset += frame.bytes;
+    co_await task.consume_cycles(kSegmentationCyclesPerFrame);
+    if (cross_bus) co_await cross_bus->dma(frame.bytes);  // Path B hop
+    while (!service.enqueue(stream, frame.bytes, frame.type)) {
+      ++stats.retries;
+      co_await sim::Delay{engine, kEnqueueBackoff};
+    }
+    ++stats.frames_produced;
+    ++produced;
+  }
+  stats.finished = true;
+  stats.finished_at = engine.now();
+}
+
+/// Filesystem abstraction for the host producer (UFS or dosFs).
+enum class HostFs { kUfs, kDosFs };
+
+/// Produce every frame of `file` from a host filesystem into a host-resident
+/// scheduler service (Path A). Filesystem overheads and segmentation both
+/// consume the producer process's CPU, so they contend with everything else
+/// on the host.
+inline sim::Coro host_file_producer(hostos::HostMachine& host,
+                                    hostos::Process& proc,
+                                    hostos::UfsFilesystem& fs,
+                                    const mpeg::MpegFile& file,
+                                    dvcm::StreamService& service,
+                                    dwcs::StreamId stream,
+                                    ProducerStats& stats,
+                                    std::uint64_t file_base = 0,
+                                    ProducerPacing pacing = {}) {
+  sim::Engine& engine = host.engine();
+  std::uint64_t offset = file_base;
+  int produced = 0;
+  for (const auto& frame : file.frames) {
+    if (pacing.pace > sim::Time::zero() && produced >= pacing.burst_frames) {
+      co_await sim::Delay{engine, pacing.pace};
+    }
+    co_await fs.read(offset, frame.bytes, &host.scheduler(), &proc.thread());
+    offset += frame.bytes;
+    co_await proc.consume_cycles(kSegmentationCyclesPerFrame);
+    while (!service.enqueue(stream, frame.bytes, frame.type)) {
+      ++stats.retries;
+      co_await sim::Delay{engine, kEnqueueBackoff};
+    }
+    ++stats.frames_produced;
+    ++produced;
+  }
+  stats.finished = true;
+  stats.finished_at = engine.now();
+}
+
+}  // namespace nistream::apps

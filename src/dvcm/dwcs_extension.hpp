@@ -1,0 +1,95 @@
+// The DWCS media-scheduler DVCM extension (§3.1 of the paper).
+//
+// Installs the stream-scheduling service on the NI: registers the media-
+// scheduling instruction opcodes (create stream, enqueue frame, attach
+// client, query stats), spawns the scheduler task at high wind priority, and
+// binds it to one of the board's Ethernet ports. Host applications drive it
+// through VcmHostApi; NI-local producers (path C: frames read from the
+// board's own disks) call the extension's methods directly — no bus crossing.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "dvcm/runtime.hpp"
+#include "dvcm/stream_service.hpp"
+#include "hw/calibration.hpp"
+#include "net/udp.hpp"
+
+namespace nistream::dvcm {
+
+/// Instruction opcodes of the DWCS extension.
+inline constexpr InstructionId kDwcsCreateStream = kExtensionBase + 1;
+inline constexpr InstructionId kDwcsEnqueueFrame = kExtensionBase + 2;
+inline constexpr InstructionId kDwcsQueryStats = kExtensionBase + 3;
+
+/// Payload of kDwcsCreateStream.
+struct CreateStreamRequest {
+  dwcs::StreamParams params;
+  int client_port = -1;
+};
+
+/// Payload of kDwcsEnqueueFrame (w0 carries the stream id).
+struct EnqueueFrameRequest {
+  std::uint32_t bytes = 0;
+  mpeg::FrameType type = mpeg::FrameType::kI;
+};
+
+class DwcsExtension final : public ExtensionModule {
+ public:
+  /// The scheduler task outranks everything else on the board ("the NI
+  /// Operating System is dedicated to running the scheduler", §4.2.3).
+  static constexpr int kSchedulerTaskPriority = 50;
+
+  DwcsExtension(StreamService::Config config, hw::EthernetSwitch& ether,
+                const hw::Calibration& cal = {})
+      : config_{config}, ether_{ether}, cal_{cal} {}
+
+  [[nodiscard]] const char* name() const override { return "dwcs-media-sched"; }
+
+  void install(VcmRuntime& runtime) override {
+    hw::NicBoard& board = runtime.board();
+    service_ = std::make_unique<StreamService>(
+        board.engine(), config_, board.cpu(), cal_.ni_int, cal_.ni_softfp,
+        &board.memory());
+    endpoint_ = std::make_unique<net::UdpEndpoint>(
+        board.engine(), ether_, cal_.ethernet.stack_traversal,
+        net::UdpEndpoint::Receiver{});
+
+    runtime.registry().add(kDwcsCreateStream, [this, &runtime](
+                                                  const hw::I2oMessage& m) {
+      const auto req = std::static_pointer_cast<CreateStreamRequest>(m.payload);
+      const auto id = service_->create_stream(req->params, req->client_port);
+      runtime.reply(m, hw::I2oMessage{.w0 = id});
+    });
+    runtime.registry().add(kDwcsEnqueueFrame, [this](const hw::I2oMessage& m) {
+      const auto req = std::static_pointer_cast<EnqueueFrameRequest>(m.payload);
+      (void)service_->enqueue(static_cast<dwcs::StreamId>(m.w0), req->bytes,
+                              req->type);
+    });
+    runtime.registry().add(kDwcsQueryStats, [this, &runtime](
+                                                const hw::I2oMessage& m) {
+      const auto& st =
+          service_->scheduler().stats(static_cast<dwcs::StreamId>(m.w0));
+      runtime.reply(m, hw::I2oMessage{.w0 = st.bytes_sent,
+                                      .w1 = st.serviced_on_time});
+    });
+
+    rtos::Task& task =
+        runtime.kernel().spawn("tDwcsSched", kSchedulerTaskPriority);
+    service_->run(task, *endpoint_).detach();
+  }
+
+  /// Direct access for NI-local producers and for the experiment harnesses.
+  [[nodiscard]] StreamService& service() { return *service_; }
+  [[nodiscard]] net::UdpEndpoint& endpoint() { return *endpoint_; }
+
+ private:
+  StreamService::Config config_;
+  hw::EthernetSwitch& ether_;
+  hw::Calibration cal_;
+  std::unique_ptr<StreamService> service_;
+  std::unique_ptr<net::UdpEndpoint> endpoint_;
+};
+
+}  // namespace nistream::dvcm

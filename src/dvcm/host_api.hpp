@@ -1,0 +1,133 @@
+// Host-side DVCM API.
+//
+// The DVCM "appears to the application program as a memory-mapped device"
+// (paper §2): invoking an instruction writes a message frame to the card
+// with PIO (charged to the calling process when one is given) and, for
+// call-style instructions, waits for the card's reply on the outbound FIFO.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <cstdint>
+#include <unordered_map>
+
+#include "dvcm/instruction.hpp"
+#include "hostos/host.hpp"
+#include "hw/i2o.hpp"
+#include "sim/coro.hpp"
+
+namespace nistream::dvcm {
+
+class VcmHostApi {
+ public:
+  VcmHostApi(sim::Engine& engine, hw::I2oChannel& channel)
+      : engine_{engine}, channel_{channel} {
+    // Reply pump: demultiplexes card replies to pending transactions.
+    [](VcmHostApi& self) -> sim::Coro {
+      for (;;) {
+        const hw::I2oMessage m = co_await self.channel_.outbound().receive();
+        const auto it = self.pending_.find(m.w2);
+        if (it == self.pending_.end()) continue;  // unsolicited notification
+        it->second->reply = m;
+        it->second->done = true;
+        if (it->second->waiter) it->second->waiter.resume();
+      }
+    }(*this).detach();
+  }
+
+  VcmHostApi(const VcmHostApi&) = delete;
+  VcmHostApi& operator=(const VcmHostApi&) = delete;
+
+  /// Fire-and-forget instruction with scalar argument + bulk payload. When
+  /// `proc` is given the PIO posting cost is charged to it (so invocations
+  /// compete for host CPU); otherwise the cost appears only as latency.
+  ///
+  /// API shape note: the message frame is assembled *inside* this plain
+  /// function from scalar/shared_ptr arguments, and only the cost-waiting is
+  /// a coroutine. Passing an I2oMessage aggregate temporary through a
+  /// co_await expression loses its shared_ptr payload reference under
+  /// GCC 12's coroutine transform (use-after-free, caught by ASan via the
+  /// TcpOffload tests) — hence no I2oMessage crosses this API.
+  [[nodiscard]] sim::Coro invoke(InstructionId id, std::uint64_t w0 = 0,
+                                 std::shared_ptr<void> payload = nullptr,
+                                 hostos::Process* proc = nullptr,
+                                 std::uint64_t w1 = 0) {
+    hw::I2oMessage msg;
+    msg.function = id;
+    msg.w0 = w0;
+    msg.w1 = w1;
+    msg.payload = std::move(payload);
+    const sim::Time cost = channel_.post_inbound(std::move(msg));
+    ++invocations_;
+    return wait_cost(cost, proc);
+  }
+
+  /// Call-style instruction: posts the request and suspends until the card
+  /// replies. Usage:
+  ///   hw::I2oMessage reply;
+  ///   co_await api.call(id, &reply, w0, payload, &proc);
+  [[nodiscard]] sim::Coro call(InstructionId id, hw::I2oMessage* reply,
+                               std::uint64_t w0 = 0,
+                               std::shared_ptr<void> payload = nullptr,
+                               hostos::Process* proc = nullptr,
+                               std::uint64_t w1 = 0) {
+    assert(reply != nullptr);
+    const std::uint64_t cookie = next_cookie_++;
+    hw::I2oMessage msg;
+    msg.function = id;
+    msg.w0 = w0;
+    msg.w1 = w1;
+    msg.w2 = cookie;
+    msg.payload = std::move(payload);
+    auto txn = std::make_unique<Transaction>();
+    Transaction* t = txn.get();
+    pending_.emplace(cookie, std::move(txn));
+
+    const sim::Time cost = channel_.post_inbound(std::move(msg));
+    ++invocations_;
+    return wait_reply(cost, proc, t, cookie, reply);
+  }
+
+  [[nodiscard]] std::uint64_t invocations() const { return invocations_; }
+
+ private:
+  struct Transaction {
+    bool done = false;
+    hw::I2oMessage reply;
+    std::coroutine_handle<> waiter;
+  };
+  struct Wait {
+    Transaction* txn;
+    bool await_ready() const noexcept { return txn->done; }
+    void await_suspend(std::coroutine_handle<> h) const { txn->waiter = h; }
+    void await_resume() const noexcept {}
+  };
+
+  sim::Coro wait_cost(sim::Time cost, hostos::Process* proc) {
+    if (proc) {
+      co_await proc->consume(cost);
+    } else {
+      co_await sim::Delay{engine_, cost};
+    }
+  }
+
+  sim::Coro wait_reply(sim::Time cost, hostos::Process* proc, Transaction* t,
+                       std::uint64_t cookie, hw::I2oMessage* reply) {
+    if (proc) {
+      co_await proc->consume(cost);
+    } else {
+      co_await sim::Delay{engine_, cost};
+    }
+    co_await Wait{t};
+    *reply = t->reply;
+    pending_.erase(cookie);
+  }
+
+  sim::Engine& engine_;
+  hw::I2oChannel& channel_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Transaction>> pending_;
+  std::uint64_t next_cookie_ = 1;
+  std::uint64_t invocations_ = 0;
+};
+
+}  // namespace nistream::dvcm

@@ -1,0 +1,59 @@
+// DVCM instruction-set plumbing.
+//
+// The DVCM (Distributed Virtual Communication Machine) exposes cluster-wide
+// services as "communication instructions" (paper §1-2): host programs
+// invoke instruction opcodes that execute on the NI CoProcessor. Extension
+// modules register handlers for the opcodes they implement; the registry is
+// the NI-side dispatch table.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+
+#include "hw/i2o.hpp"
+
+namespace nistream::dvcm {
+
+using InstructionId = std::uint32_t;
+
+/// Reply opcodes set this bit and echo the request cookie in w2.
+inline constexpr InstructionId kReplyFlag = 0x8000'0000u;
+
+/// Core instruction ids (0x0000_xxxx); extensions allocate above 0x0001_0000.
+inline constexpr InstructionId kNop = 0x0000'0001;
+inline constexpr InstructionId kPing = 0x0000'0002;
+inline constexpr InstructionId kListExtensions = 0x0000'0003;
+inline constexpr InstructionId kExtensionBase = 0x0001'0000;
+
+/// Handler executed on the NI dispatch task. The message's `function` is the
+/// instruction id; w0..w2 and payload are instruction-defined (w2 carries the
+/// caller's transaction cookie when a reply is expected).
+using InstructionHandler = std::function<void(const hw::I2oMessage&)>;
+
+class InstructionRegistry {
+ public:
+  void add(InstructionId id, InstructionHandler handler) {
+    handlers_[id] = std::move(handler);
+  }
+
+  [[nodiscard]] bool contains(InstructionId id) const {
+    return handlers_.contains(id);
+  }
+
+  /// Invoke the handler for `msg.function`; returns false when unknown.
+  bool dispatch(const hw::I2oMessage& msg) {
+    const auto it = handlers_.find(msg.function);
+    if (it == handlers_.end()) return false;
+    it->second(msg);
+    return true;
+  }
+
+  [[nodiscard]] std::size_t size() const { return handlers_.size(); }
+
+ private:
+  std::unordered_map<InstructionId, InstructionHandler> handlers_;
+};
+
+}  // namespace nistream::dvcm

@@ -1,0 +1,98 @@
+#include "dwcs/baselines.hpp"
+
+#include <cassert>
+
+namespace nistream::dwcs {
+
+StreamId BaselineScheduler::create_stream(const StreamParams& params,
+                                          sim::Time now) {
+  const auto id = static_cast<StreamId>(streams_.size());
+  StreamState s;
+  s.params = params;
+  s.next_deadline = now + params.period;
+  s.ring = std::make_unique<FrameRing>(
+      ring_capacity_, DescriptorResidency::kPinnedMemory,
+      0x0300'0000 + static_cast<SimAddr>(id) * 0x10000, null_cost_hook());
+  streams_.push_back(std::move(s));
+  return id;
+}
+
+bool BaselineScheduler::enqueue(StreamId id, const FrameDescriptor& frame,
+                                sim::Time now) {
+  assert(id < streams_.size());
+  StreamState& s = streams_[id];
+  const bool was_empty = s.ring->empty();
+  if (!s.ring->push(frame)) return false;
+  ++s.stats.enqueued;
+  if (was_empty && s.next_deadline < now) {
+    s.next_deadline = now + s.params.period;  // restart after idle
+  }
+  return true;
+}
+
+void BaselineScheduler::drop_late_lossy(sim::Time now) {
+  for (auto& s : streams_) {
+    if (!s.params.lossy) continue;
+    while (!s.ring->empty() && s.next_deadline < now) {
+      s.ring->pop();
+      ++s.stats.dropped;
+      s.next_deadline += s.params.period;
+    }
+  }
+}
+
+std::optional<Dispatch> BaselineScheduler::schedule_next(sim::Time now) {
+  drop_late_lossy(now);
+  const auto sid = pick(now);
+  if (!sid) return std::nullopt;
+  StreamState& s = streams_[*sid];
+  const auto head = s.ring->front();
+  assert(head.has_value());
+  s.ring->pop();
+
+  Dispatch d;
+  d.stream = *sid;
+  d.frame = *head;
+  d.deadline = s.next_deadline;
+  d.late = s.next_deadline < now;
+  if (d.late) {
+    ++s.stats.serviced_late;
+  } else {
+    ++s.stats.serviced_on_time;
+  }
+  s.stats.bytes_sent += head->bytes;
+  s.next_deadline += s.params.period;
+  return d;
+}
+
+std::optional<StreamId> EdfScheduler::pick(sim::Time) {
+  std::optional<StreamId> best;
+  for (StreamId i = 0; i < streams().size(); ++i) {
+    const auto& s = streams()[i];
+    if (s.ring->empty()) continue;
+    if (!best || s.next_deadline < streams()[*best].next_deadline) best = i;
+  }
+  return best;
+}
+
+std::optional<StreamId> StaticPriorityScheduler::pick(sim::Time) {
+  for (StreamId i = 0; i < streams().size(); ++i) {
+    if (!streams()[i].ring->empty()) return i;
+  }
+  return std::nullopt;
+}
+
+std::optional<StreamId> RoundRobinScheduler::pick(sim::Time) {
+  const auto n = static_cast<StreamId>(streams().size());
+  if (n == 0) return std::nullopt;
+  for (StreamId k = 0; k < n; ++k) {
+    const StreamId i = static_cast<StreamId>((cursor_ + k) % n);
+    if (!streams()[i].ring->empty()) {
+      cursor_ = static_cast<StreamId>((i + 1) % n);
+      return i;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace nistream::dwcs

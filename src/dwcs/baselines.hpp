@@ -1,0 +1,94 @@
+// Baseline packet schedulers: EDF, static priority, round-robin.
+//
+// These implement the same PacketScheduler interface and deadline/drop
+// machinery as DWCS but none of its window-constraint logic, so experiments
+// can quantify exactly what the loss-tolerance mechanism buys (the
+// ablate_policy bench counts window violations under overload for each
+// policy via the WindowViolationMonitor).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "dwcs/scheduler.hpp"
+#include "dwcs/types.hpp"
+
+namespace nistream::dwcs {
+
+/// Common stream bookkeeping shared by the baselines.
+class BaselineScheduler : public PacketScheduler {
+ public:
+  explicit BaselineScheduler(std::size_t ring_capacity = 256)
+      : ring_capacity_{ring_capacity} {}
+
+  StreamId create_stream(const StreamParams& params, sim::Time now) override;
+  bool enqueue(StreamId id, const FrameDescriptor& frame, sim::Time now) override;
+  std::optional<Dispatch> schedule_next(sim::Time now) override;
+
+  [[nodiscard]] const StreamStats& stats(StreamId id) const override {
+    return streams_[id].stats;
+  }
+  [[nodiscard]] std::size_t backlog(StreamId id) const override {
+    return streams_[id].ring->size();
+  }
+  [[nodiscard]] std::size_t stream_count() const override {
+    return streams_.size();
+  }
+
+ protected:
+  struct StreamState {
+    StreamParams params;
+    sim::Time next_deadline;
+    std::unique_ptr<FrameRing> ring;
+    StreamStats stats;
+  };
+
+  /// Policy: choose among streams with backlog; nullopt when none.
+  [[nodiscard]] virtual std::optional<StreamId> pick(sim::Time now) = 0;
+
+  [[nodiscard]] const std::vector<StreamState>& streams() const {
+    return streams_;
+  }
+
+ private:
+  void drop_late_lossy(sim::Time now);
+
+  std::size_t ring_capacity_;
+  std::vector<StreamState> streams_;
+};
+
+/// Earliest-deadline-first.
+class EdfScheduler final : public BaselineScheduler {
+ public:
+  using BaselineScheduler::BaselineScheduler;
+  [[nodiscard]] const char* name() const override { return "edf"; }
+
+ protected:
+  std::optional<StreamId> pick(sim::Time) override;
+};
+
+/// Fixed priority by creation order (stream 0 most important).
+class StaticPriorityScheduler final : public BaselineScheduler {
+ public:
+  using BaselineScheduler::BaselineScheduler;
+  [[nodiscard]] const char* name() const override { return "static-priority"; }
+
+ protected:
+  std::optional<StreamId> pick(sim::Time) override;
+};
+
+/// Round-robin over backlogged streams.
+class RoundRobinScheduler final : public BaselineScheduler {
+ public:
+  using BaselineScheduler::BaselineScheduler;
+  [[nodiscard]] const char* name() const override { return "round-robin"; }
+
+ protected:
+  std::optional<StreamId> pick(sim::Time) override;
+
+ private:
+  StreamId cursor_ = 0;
+};
+
+}  // namespace nistream::dwcs

@@ -1,0 +1,105 @@
+// The DWCS precedence rules.
+//
+// DWCS picks the stream with "lowest priority value" among the head packets
+// of all backlogged streams, by the pairwise rules of West & Schwan
+// (ICMCS'99), restated here:
+//
+//   1. Earliest deadline first.
+//   2. Equal deadlines: lowest current window-constraint W' = x'/y' first.
+//   3. Equal deadlines and zero window-constraints: highest window-
+//      denominator y' first. (Among streams that can afford no more losses,
+//      a larger outstanding window is the harder promise to keep — and each
+//      violation increments y', raising urgency further.)
+//   4. Equal deadlines and equal non-zero window-constraints: lowest
+//      window-numerator x' first (the tighter window in absolute terms).
+//   5. All equal: lowest stream id (stable order).
+//
+// Rule 2's fractional comparison is where the arithmetic-mode ablation
+// (Table 1/2, fixed-point vs software FP) lives: the fixed-point mode
+// compares x1*y2 <=> x2*y1 exactly with two integer multiplies; the float
+// modes perform two divisions and a compare in (soft or native) floating
+// point. Costs are charged per operation through the CostHook.
+#pragma once
+
+#include "dwcs/cost.hpp"
+#include "dwcs/types.hpp"
+#include "fixedpt/fraction.hpp"
+#include "fixedpt/softfloat.hpp"
+
+namespace nistream::dwcs {
+
+class Comparator {
+ public:
+  Comparator(ArithMode mode, CostHook& hook) : mode_{mode}, hook_{&hook} {}
+
+  [[nodiscard]] ArithMode mode() const { return mode_; }
+
+  /// Three-way compare of loss-tolerances (precedence rule 2): negative when
+  /// `a` is the lower (more urgent) tolerance.
+  [[nodiscard]] int cmp_tolerance(const WindowConstraint& a,
+                                  const WindowConstraint& b) const {
+    switch (mode_) {
+      case ArithMode::kFixedPoint: {
+        // Exact: x_a * y_b <=> x_b * y_a.
+        hook_->arith_int(Op::kMul, 2);
+        hook_->arith_int(Op::kCmp, 1);
+        const auto ord = order(fixedpt::Fraction{a.x, a.y},
+                               fixedpt::Fraction{b.x, b.y});
+        return ord < 0 ? -1 : (ord > 0 ? 1 : 0);
+      }
+      case ArithMode::kSoftFloat: {
+        hook_->arith_float(Op::kDiv, 2);
+        hook_->arith_float(Op::kCmp, 1);
+        const auto wa = fixedpt::SoftFloat::from_int(static_cast<std::int32_t>(a.x)) /
+                        fixedpt::SoftFloat::from_int(static_cast<std::int32_t>(a.y));
+        const auto wb = fixedpt::SoftFloat::from_int(static_cast<std::int32_t>(b.x)) /
+                        fixedpt::SoftFloat::from_int(static_cast<std::int32_t>(b.y));
+        if (wa < wb) return -1;
+        if (wb < wa) return 1;
+        return 0;
+      }
+      case ArithMode::kNativeFloat: {
+        hook_->arith_float(Op::kDiv, 2);
+        hook_->arith_float(Op::kCmp, 1);
+        const double wa = static_cast<double>(a.x) / static_cast<double>(a.y);
+        const double wb = static_cast<double>(b.x) / static_cast<double>(b.y);
+        if (wa < wb) return -1;
+        if (wa > wb) return 1;
+        return 0;
+      }
+    }
+    return 0;
+  }
+
+  /// Tolerance-domain ordering only (rules 2-4 + id): used by the
+  /// loss-tolerance heap of the dual-heap representation.
+  [[nodiscard]] bool tolerance_precedes(const StreamView& a, StreamId ida,
+                                        const StreamView& b, StreamId idb) const {
+    const int c = cmp_tolerance(a.current, b.current);
+    if (c != 0) return c < 0;
+    if (a.current.x == 0 && b.current.x == 0) {
+      hook_->arith_int(Op::kCmp, 1);
+      if (a.current.y != b.current.y) return a.current.y > b.current.y;  // rule 3
+    } else {
+      hook_->arith_int(Op::kCmp, 1);
+      if (a.current.x != b.current.x) return a.current.x < b.current.x;  // rule 4
+    }
+    return ida < idb;  // rule 5
+  }
+
+  /// Full precedence (rules 1-5): true when `a` must be serviced before `b`.
+  [[nodiscard]] bool precedes(const StreamView& a, StreamId ida,
+                              const StreamView& b, StreamId idb) const {
+    hook_->arith_int(Op::kCmp, 1);  // deadline compare (64-bit integer)
+    if (a.next_deadline != b.next_deadline) {
+      return a.next_deadline < b.next_deadline;  // rule 1
+    }
+    return tolerance_precedes(a, ida, b, idb);
+  }
+
+ private:
+  ArithMode mode_;
+  CostHook* hook_;
+};
+
+}  // namespace nistream::dwcs

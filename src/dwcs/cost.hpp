@@ -1,0 +1,55 @@
+// Cost-instrumentation hook.
+//
+// The embedded microbenchmarks (Tables 1-3) charge every arithmetic
+// operation, memory word access and register access the scheduler performs
+// to a target CPU model. The scheduler code calls this interface at each
+// such point; the default hook does nothing (zero-cost scheduling, used by
+// the pure-algorithm tests), and bench/microbench.hpp maps it onto
+// hw::CpuModel with the i960 cost tables.
+#pragma once
+
+#include <cstdint>
+
+#include "dwcs/types.hpp"
+
+namespace nistream::dwcs {
+
+enum class Op : std::uint8_t { kAdd, kMul, kDiv, kCmp };
+
+class CostHook {
+ public:
+  virtual ~CostHook() = default;
+
+  /// Integer ALU operation (fixed-point arithmetic path).
+  virtual void arith_int(Op /*op*/, int /*n*/ = 1) {}
+  /// Floating-point operation (software-FP or FPU path — the hook's cost
+  /// table decides which).
+  virtual void arith_float(Op /*op*/, int /*n*/ = 1) {}
+  /// One data word accessed at a simulated address (through the d-cache).
+  virtual void mem(SimAddr /*addr*/) {}
+  /// One memory-mapped "hardware queue" register access (on-chip, uncached).
+  virtual void reg() {}
+  /// Fixed control-flow overhead in CPU cycles (call/loop/branch costs).
+  virtual void cycles(std::int64_t /*n*/) {}
+};
+
+/// Shared do-nothing hook for un-instrumented use.
+[[nodiscard]] inline CostHook& null_cost_hook() {
+  static CostHook hook;
+  return hook;
+}
+
+/// How the scheduler computes its fractional comparisons (§4.2):
+enum class ArithMode {
+  kFixedPoint,   // exact fractions, integer cross-multiplication
+  kSoftFloat,    // software-emulated IEEE binary32 (VxWorks FP library)
+  kNativeFloat,  // hardware FPU double (host-based scheduler)
+};
+
+/// Where frame descriptors live (§4.2.1, Table 2 vs Table 3):
+enum class DescriptorResidency {
+  kPinnedMemory,   // pinned card RAM, cacheable
+  kHardwareQueue,  // the 1004 memory-mapped 32-bit registers, uncached
+};
+
+}  // namespace nistream::dwcs

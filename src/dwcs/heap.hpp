@@ -1,0 +1,129 @@
+// Handle-based binary min-heap of stream ids with update-key.
+//
+// Both heaps of Figure 4(a) — the deadline heap and the loss-tolerance heap —
+// are instances of this structure with different comparators. Positions are
+// tracked per stream id so a key change (window adjustment, deadline advance)
+// re-sifts in O(log n) without a search.
+//
+// Every element the sift path touches is charged as a memory word at the
+// heap's simulated base address, so the heap's cache behaviour shows up in
+// the Table 1/2 numbers exactly as the descriptor loops do.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "dwcs/cost.hpp"
+#include "dwcs/types.hpp"
+
+namespace nistream::dwcs {
+
+class IndexedHeap {
+ public:
+  using Less = std::function<bool(StreamId, StreamId)>;
+
+  IndexedHeap(Less less, CostHook& hook, SimAddr base_addr)
+      : less_{std::move(less)}, hook_{&hook}, base_{base_addr} {}
+
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] bool contains(StreamId id) const {
+    return id < pos_.size() && pos_[id] >= 0;
+  }
+
+  void push(StreamId id) {
+    assert(!contains(id));
+    if (id >= pos_.size()) pos_.resize(id + 1, -1);
+    data_.push_back(id);
+    pos_[id] = static_cast<std::int32_t>(data_.size() - 1);
+    touch(data_.size() - 1);
+    sift_up(data_.size() - 1);
+  }
+
+  void erase(StreamId id) {
+    assert(contains(id));
+    const auto i = static_cast<std::size_t>(pos_[id]);
+    swap_at(i, data_.size() - 1);
+    data_.pop_back();
+    pos_[id] = -1;
+    if (i < data_.size()) {
+      if (!sift_up(i)) sift_down(i);
+    }
+  }
+
+  /// Re-establish heap order after `id`'s key changed.
+  void update(StreamId id) {
+    assert(contains(id));
+    const auto i = static_cast<std::size_t>(pos_[id]);
+    if (!sift_up(i)) sift_down(i);
+  }
+
+  [[nodiscard]] std::optional<StreamId> top() const {
+    if (data_.empty()) return std::nullopt;
+    touch(0);
+    return data_[0];
+  }
+
+  /// Raw level-order contents (used by the dual-heap tie collection; the
+  /// caller charges its own traversal costs via less_/touch during compares).
+  [[nodiscard]] const std::vector<StreamId>& raw() const { return data_; }
+
+  /// Charge one heap-entry access (exposed for traversals done by callers).
+  void touch(std::size_t idx) const {
+    hook_->mem(base_ + static_cast<SimAddr>(idx) * 8);
+  }
+
+ private:
+  bool sift_up(std::size_t i) {
+    bool moved = false;
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      touch(i);
+      touch(parent);
+      if (!less_(data_[i], data_[parent])) break;
+      swap_at(i, parent);
+      i = parent;
+      moved = true;
+    }
+    return moved;
+  }
+
+  void sift_down(std::size_t i) {
+    for (;;) {
+      const std::size_t l = 2 * i + 1, r = 2 * i + 2;
+      std::size_t best = i;
+      touch(i);
+      if (l < data_.size()) {
+        touch(l);
+        if (less_(data_[l], data_[best])) best = l;
+      }
+      if (r < data_.size()) {
+        touch(r);
+        if (less_(data_[r], data_[best])) best = r;
+      }
+      if (best == i) return;
+      swap_at(i, best);
+      i = best;
+    }
+  }
+
+  void swap_at(std::size_t a, std::size_t b) {
+    if (a == b) return;
+    touch(a);
+    touch(b);
+    std::swap(data_[a], data_[b]);
+    pos_[data_[a]] = static_cast<std::int32_t>(a);
+    pos_[data_[b]] = static_cast<std::int32_t>(b);
+  }
+
+  Less less_;
+  CostHook* hook_;
+  SimAddr base_;
+  std::vector<StreamId> data_;
+  std::vector<std::int32_t> pos_;
+};
+
+}  // namespace nistream::dwcs

@@ -1,0 +1,83 @@
+// Sliding-window constraint checker.
+//
+// Independent verification of the DWCS service guarantee: for a stream with
+// tolerance x/y, every window of y *consecutive* packets may contain at most
+// x losses (drops or late transmissions). The monitor watches the outcome
+// sequence a scheduler produces and counts windows that break the bound.
+//
+// It is used two ways:
+//  * as the oracle in DWCS property tests (under feasible load the DWCS
+//    violation count must stay at/near zero while baselines rack them up);
+//  * as the scoring function of the ablate_policy bench.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "dwcs/types.hpp"
+
+namespace nistream::dwcs {
+
+class WindowViolationMonitor {
+ public:
+  /// Register a stream with its constraint; ids must be registered in order.
+  void add_stream(const WindowConstraint& c) {
+    streams_.push_back(State{c, {}, 0, 0, 0});
+  }
+
+  enum class Outcome : std::uint8_t { kOnTime, kLate, kDropped };
+
+  /// Record the outcome of the next consecutive packet of `id`.
+  void record(StreamId id, Outcome o) {
+    State& s = streams_[id];
+    const bool lost = o != Outcome::kOnTime;
+    s.window.push_back(lost);
+    s.losses_in_window += lost;
+    ++s.packets;
+    if (static_cast<std::int64_t>(s.window.size()) > s.constraint.y) {
+      s.losses_in_window -= s.window.front();
+      s.window.pop_front();
+    }
+    // Only full windows can violate; count each offending window position.
+    if (static_cast<std::int64_t>(s.window.size()) == s.constraint.y &&
+        s.losses_in_window > s.constraint.x) {
+      ++s.violating_windows;
+    }
+  }
+
+  [[nodiscard]] std::uint64_t violating_windows(StreamId id) const {
+    return streams_[id].violating_windows;
+  }
+  [[nodiscard]] std::uint64_t total_violating_windows() const {
+    std::uint64_t sum = 0;
+    for (const auto& s : streams_) sum += s.violating_windows;
+    return sum;
+  }
+  [[nodiscard]] std::uint64_t packets(StreamId id) const {
+    return streams_[id].packets;
+  }
+  /// Fraction of window positions (per stream) that violated the constraint.
+  [[nodiscard]] double violation_rate(StreamId id) const {
+    const State& s = streams_[id];
+    const auto windows =
+        s.packets >= static_cast<std::uint64_t>(s.constraint.y)
+            ? s.packets - static_cast<std::uint64_t>(s.constraint.y) + 1
+            : 0;
+    return windows ? static_cast<double>(s.violating_windows) /
+                         static_cast<double>(windows)
+                   : 0.0;
+  }
+
+ private:
+  struct State {
+    WindowConstraint constraint;
+    std::deque<bool> window;
+    std::int64_t losses_in_window;
+    std::uint64_t packets;
+    std::uint64_t violating_windows;
+  };
+  std::vector<State> streams_;
+};
+
+}  // namespace nistream::dwcs

@@ -1,0 +1,345 @@
+#include "dwcs/repr.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <list>
+
+namespace nistream::dwcs {
+namespace {
+
+/// Figure 4(a): deadline heap + loss-tolerance heap. The deadline heap
+/// resolves rule 1; ties at the minimum deadline are broken by the tolerance
+/// ordering, which the tolerance heap keeps ready (its top is the globally
+/// most tolerance-urgent stream, so the common all-deadlines-equal case is
+/// O(1) after the heaps are maintained).
+class DualHeapRepr final : public ScheduleRepr {
+ public:
+  DualHeapRepr(const StreamTable& table, const Comparator& cmp, CostHook& hook,
+               SimAddr base)
+      : table_{table},
+        cmp_{cmp},
+        deadline_heap_{
+            [this](StreamId a, StreamId b) {
+              const auto& va = table_.view(a);
+              const auto& vb = table_.view(b);
+              if (va.next_deadline != vb.next_deadline) {
+                return va.next_deadline < vb.next_deadline;
+              }
+              return a < b;
+            },
+            hook, base},
+        tolerance_heap_{
+            [this](StreamId a, StreamId b) {
+              return cmp_.tolerance_precedes(table_.view(a), a, table_.view(b),
+                                             b);
+            },
+            hook, base + 0x10000} {}
+
+  void insert(StreamId id) override {
+    deadline_heap_.push(id);
+    tolerance_heap_.push(id);
+  }
+  void remove(StreamId id) override {
+    deadline_heap_.erase(id);
+    tolerance_heap_.erase(id);
+  }
+  void update(StreamId id) override {
+    deadline_heap_.update(id);
+    tolerance_heap_.update(id);
+  }
+
+  std::optional<StreamId> pick() override {
+    const auto top = deadline_heap_.top();
+    if (!top) return std::nullopt;
+    // Fast path: if the tolerance heap's top shares the minimum deadline it
+    // is the answer outright (it beats every other deadline-tied stream in
+    // the tolerance order).
+    const sim::Time dmin = table_.view(*top).next_deadline;
+    const auto tol_top = tolerance_heap_.top();
+    if (tol_top && table_.view(*tol_top).next_deadline == dmin) return tol_top;
+    // Otherwise collect the deadline ties and break them explicitly.
+    StreamId best = *top;
+    for (std::size_t i = 0; i < deadline_heap_.raw().size(); ++i) {
+      deadline_heap_.touch(i);
+      const StreamId s = deadline_heap_.raw()[i];
+      if (s == best) continue;
+      if (table_.view(s).next_deadline != dmin) continue;
+      if (cmp_.tolerance_precedes(table_.view(s), s, table_.view(best), best)) {
+        best = s;
+      }
+    }
+    return best;
+  }
+
+  std::optional<StreamId> earliest_deadline() override {
+    return deadline_heap_.top();
+  }
+
+  const char* name() const override { return "dual-heap"; }
+
+ private:
+  const StreamTable& table_;
+  const Comparator& cmp_;
+  IndexedHeap deadline_heap_;
+  IndexedHeap tolerance_heap_;
+};
+
+/// One heap under the full rule-1..5 comparator.
+class SingleHeapRepr final : public ScheduleRepr {
+ public:
+  SingleHeapRepr(const StreamTable& table, const Comparator& cmp,
+                 CostHook& hook, SimAddr base)
+      : table_{table},
+        heap_{[this, &cmp](StreamId a, StreamId b) {
+                return cmp.precedes(table_.view(a), a, table_.view(b), b);
+              },
+              hook, base},
+        deadline_heap_{
+            [this](StreamId a, StreamId b) {
+              const auto& va = table_.view(a);
+              const auto& vb = table_.view(b);
+              if (va.next_deadline != vb.next_deadline) {
+                return va.next_deadline < vb.next_deadline;
+              }
+              return a < b;
+            },
+            hook, base + 0x10000} {}
+
+  void insert(StreamId id) override {
+    heap_.push(id);
+    deadline_heap_.push(id);
+  }
+  void remove(StreamId id) override {
+    heap_.erase(id);
+    deadline_heap_.erase(id);
+  }
+  void update(StreamId id) override {
+    heap_.update(id);
+    deadline_heap_.update(id);
+  }
+  std::optional<StreamId> pick() override { return heap_.top(); }
+  std::optional<StreamId> earliest_deadline() override {
+    return deadline_heap_.top();
+  }
+  const char* name() const override { return "single-heap"; }
+
+ private:
+  const StreamTable& table_;
+  IndexedHeap heap_;
+  IndexedHeap deadline_heap_;
+};
+
+/// Insertion-sorted list under the full comparator.
+class SortedListRepr final : public ScheduleRepr {
+ public:
+  SortedListRepr(const StreamTable& table, const Comparator& cmp,
+                 CostHook& hook, SimAddr base)
+      : table_{table}, cmp_{cmp}, hook_{&hook}, base_{base} {}
+
+  void insert(StreamId id) override {
+    auto it = list_.begin();
+    std::size_t idx = 0;
+    for (; it != list_.end(); ++it, ++idx) {
+      hook_->mem(base_ + idx * 8);
+      if (cmp_.precedes(table_.view(id), id, table_.view(*it), *it)) break;
+    }
+    list_.insert(it, id);
+  }
+  void remove(StreamId id) override { list_.remove(id); }
+  void update(StreamId id) override {
+    remove(id);
+    insert(id);
+  }
+  std::optional<StreamId> pick() override {
+    if (list_.empty()) return std::nullopt;
+    hook_->mem(base_);
+    return list_.front();
+  }
+  std::optional<StreamId> earliest_deadline() override {
+    // The full order is deadline-major (rule 1), so the front has the
+    // earliest deadline — but among deadline ties the contract is lowest id
+    // (matching the heaps), not best tolerance, so scan the tied prefix.
+    if (list_.empty()) return std::nullopt;
+    const sim::Time dmin = table_.view(list_.front()).next_deadline;
+    StreamId best = list_.front();
+    std::size_t idx = 0;
+    for (const StreamId s : list_) {
+      hook_->mem(base_ + idx++ * 8);
+      if (table_.view(s).next_deadline != dmin) break;
+      best = std::min(best, s);
+    }
+    return best;
+  }
+  const char* name() const override { return "sorted-list"; }
+
+ private:
+  const StreamTable& table_;
+  const Comparator& cmp_;
+  CostHook* hook_;
+  SimAddr base_;
+  std::list<StreamId> list_;
+};
+
+/// Arrival order of head packets; deliberately attribute-blind (paper
+/// §3.1.1: "FCFS circular buffers"). earliest_deadline() still answers
+/// truthfully so the late-drop machinery keeps working.
+class FcfsRepr final : public ScheduleRepr {
+ public:
+  FcfsRepr(const StreamTable& table, CostHook& hook, SimAddr base)
+      : table_{table}, hook_{&hook}, base_{base} {}
+
+  void insert(StreamId id) override { members_.push_back(id); }
+  void remove(StreamId id) override { std::erase(members_, id); }
+  void update(StreamId) override {}  // arrival order does not change
+
+  std::optional<StreamId> pick() override {
+    std::optional<StreamId> best;
+    for (std::size_t i = 0; i < members_.size(); ++i) {
+      hook_->mem(base_ + i * 8);
+      const StreamId s = members_[i];
+      if (!best || table_.view(s).head_enqueued_at <
+                       table_.view(*best).head_enqueued_at) {
+        best = s;
+      }
+    }
+    return best;
+  }
+
+  std::optional<StreamId> earliest_deadline() override {
+    std::optional<StreamId> best;
+    for (std::size_t i = 0; i < members_.size(); ++i) {
+      hook_->mem(base_ + i * 8);
+      const StreamId s = members_[i];
+      if (!best ||
+          table_.view(s).next_deadline < table_.view(*best).next_deadline ||
+          (table_.view(s).next_deadline == table_.view(*best).next_deadline &&
+           s < *best)) {
+        best = s;
+      }
+    }
+    return best;
+  }
+
+  const char* name() const override { return "fcfs"; }
+
+ private:
+  const StreamTable& table_;
+  CostHook* hook_;
+  SimAddr base_;
+  std::vector<StreamId> members_;
+};
+
+/// Deadline-bucketed calendar queue: streams hash into day buckets by
+/// deadline; pick scans the earliest non-empty bucket and breaks ties with
+/// the full comparator. Bucket width trades bucket-scan length against
+/// bucket-chain length.
+class CalendarQueueRepr final : public ScheduleRepr {
+ public:
+  CalendarQueueRepr(const StreamTable& table, const Comparator& cmp,
+                    CostHook& hook, SimAddr base,
+                    sim::Time bucket_width = sim::Time::ms(10))
+      : table_{table}, cmp_{cmp}, hook_{&hook}, base_{base},
+        width_ns_{bucket_width.raw_ns()} {}
+
+  void insert(StreamId id) override {
+    const std::int64_t key = bucket_of(id);
+    calendar_[key].push_back(id);
+    if (id >= bucket_of_stream_.size()) bucket_of_stream_.resize(id + 1, 0);
+    bucket_of_stream_[id] = key;
+  }
+
+  void remove(StreamId id) override {
+    const std::int64_t key = bucket_of_stream_[id];
+    auto it = calendar_.find(key);
+    assert(it != calendar_.end());
+    std::erase(it->second, id);
+    if (it->second.empty()) calendar_.erase(it);
+  }
+
+  void update(StreamId id) override {
+    const std::int64_t key = bucket_of(id);
+    if (key == bucket_of_stream_[id]) return;  // tolerance-only change
+    remove(id);
+    insert(id);
+  }
+
+  std::optional<StreamId> pick() override {
+    if (calendar_.empty()) return std::nullopt;
+    // The earliest bucket holds the earliest deadline, but the full winner
+    // could be a deadline-tied stream in the same bucket only (rule 1 is
+    // deadline-major), so one bucket scan suffices.
+    const auto& bucket = calendar_.begin()->second;
+    StreamId best = bucket.front();
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+      hook_->mem(base_ + i * 8);
+      const StreamId s = bucket[i];
+      if (s != best &&
+          cmp_.precedes(table_.view(s), s, table_.view(best), best)) {
+        best = s;
+      }
+    }
+    return best;
+  }
+
+  std::optional<StreamId> earliest_deadline() override {
+    if (calendar_.empty()) return std::nullopt;
+    const auto& bucket = calendar_.begin()->second;
+    StreamId best = bucket.front();
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+      hook_->mem(base_ + i * 8);
+      const StreamId s = bucket[i];
+      const auto ds = table_.view(s).next_deadline;
+      const auto db = table_.view(best).next_deadline;
+      if (ds < db || (ds == db && s < best)) best = s;
+    }
+    return best;
+  }
+
+  const char* name() const override { return "calendar-queue"; }
+
+ private:
+  [[nodiscard]] std::int64_t bucket_of(StreamId id) const {
+    return table_.view(id).next_deadline.raw_ns() / width_ns_;
+  }
+
+  const StreamTable& table_;
+  const Comparator& cmp_;
+  CostHook* hook_;
+  SimAddr base_;
+  std::int64_t width_ns_;
+  std::map<std::int64_t, std::vector<StreamId>> calendar_;
+  std::vector<std::int64_t> bucket_of_stream_;
+};
+
+}  // namespace
+
+const char* to_string(ReprKind kind) {
+  switch (kind) {
+    case ReprKind::kDualHeap: return "dual-heap";
+    case ReprKind::kSingleHeap: return "single-heap";
+    case ReprKind::kSortedList: return "sorted-list";
+    case ReprKind::kFcfs: return "fcfs";
+    case ReprKind::kCalendarQueue: return "calendar-queue";
+  }
+  return "?";
+}
+
+std::unique_ptr<ScheduleRepr> make_repr(ReprKind kind, const StreamTable& table,
+                                        const Comparator& cmp, CostHook& hook,
+                                        SimAddr heap_base) {
+  switch (kind) {
+    case ReprKind::kDualHeap:
+      return std::make_unique<DualHeapRepr>(table, cmp, hook, heap_base);
+    case ReprKind::kSingleHeap:
+      return std::make_unique<SingleHeapRepr>(table, cmp, hook, heap_base);
+    case ReprKind::kSortedList:
+      return std::make_unique<SortedListRepr>(table, cmp, hook, heap_base);
+    case ReprKind::kFcfs:
+      return std::make_unique<FcfsRepr>(table, hook, heap_base);
+    case ReprKind::kCalendarQueue:
+      return std::make_unique<CalendarQueueRepr>(table, cmp, hook, heap_base);
+  }
+  return nullptr;
+}
+
+}  // namespace nistream::dwcs

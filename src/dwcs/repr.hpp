@@ -1,0 +1,73 @@
+// Pluggable packet-schedule representations.
+//
+// Paper §3.1.1: "Extensible scheduler design decoupling scheduling analysis
+// and schedule representation (data structures). This allows different data
+// structures to be used for experimentation (FCFS circular buffers, sorted
+// lists, heaps or calendar queues)". Each representation answers the same two
+// queries — the overall best stream by the DWCS precedence rules, and the
+// earliest-deadline stream for late-packet processing — over the set of
+// currently backlogged streams.
+//
+// * DualHeapRepr     — the paper's Figure 4(a): a deadline heap plus a
+//                      loss-tolerance heap; deadline ties are broken with
+//                      the tolerance ordering.
+// * SingleHeapRepr   — one heap under the full precedence comparator.
+// * SortedListRepr   — insertion-sorted list, O(n) updates, O(1) pick.
+// * FcfsRepr         — arrival order of head packets; ignores attributes.
+// * CalendarQueueRepr— deadline-bucketed calendar queue.
+//
+// All representations must agree with SingleHeapRepr on pick() for any state
+// (except FCFS, which deliberately ignores the rules); that equivalence is a
+// property test in tests/dwcs/repr_test.cpp.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "dwcs/comparator.hpp"
+#include "dwcs/cost.hpp"
+#include "dwcs/heap.hpp"
+#include "dwcs/types.hpp"
+#include "sim/time.hpp"
+
+namespace nistream::dwcs {
+
+/// Read access to per-stream dynamic state, provided by the scheduler.
+class StreamTable {
+ public:
+  virtual ~StreamTable() = default;
+  [[nodiscard]] virtual const StreamView& view(StreamId id) const = 0;
+};
+
+class ScheduleRepr {
+ public:
+  virtual ~ScheduleRepr() = default;
+  virtual void insert(StreamId id) = 0;
+  virtual void remove(StreamId id) = 0;
+  virtual void update(StreamId id) = 0;
+  [[nodiscard]] virtual std::optional<StreamId> pick() = 0;
+  [[nodiscard]] virtual std::optional<StreamId> earliest_deadline() = 0;
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+enum class ReprKind {
+  kDualHeap,
+  kSingleHeap,
+  kSortedList,
+  kFcfs,
+  kCalendarQueue,
+};
+
+[[nodiscard]] const char* to_string(ReprKind kind);
+
+/// Create a representation. `table` and `cmp` must outlive the result.
+/// `heap_base` is the simulated address of the representation's storage.
+[[nodiscard]] std::unique_ptr<ScheduleRepr> make_repr(ReprKind kind,
+                                                      const StreamTable& table,
+                                                      const Comparator& cmp,
+                                                      CostHook& hook,
+                                                      SimAddr heap_base);
+
+}  // namespace nistream::dwcs

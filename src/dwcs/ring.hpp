@@ -1,0 +1,111 @@
+// Per-stream single-producer/single-consumer circular frame buffer.
+//
+// Paper, Figure 4(b): "Using a circular queue for each stream eliminates the
+// need for synchronization between the scheduler that selects the next packet
+// for service, and the server that queues packets to be scheduled." Producers
+// write through the tail pointer, the scheduler reads through the head
+// pointer; neither pointer is shared for writing.
+//
+// The ring is a real lock-free SPSC queue (acquire/release atomics) — the
+// simulation itself is single-threaded, but the concurrency claim from the
+// paper is a property of this data structure and is tested with real threads
+// in tests/dwcs/ring_test.cpp.
+//
+// Cost accounting: each slot has a simulated address; descriptor reads and
+// writes report through the CostHook according to the configured residency
+// (pinned memory words vs hardware-queue registers).
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "dwcs/cost.hpp"
+#include "dwcs/types.hpp"
+
+namespace nistream::dwcs {
+
+class FrameRing {
+ public:
+  /// Descriptor footprint in 32-bit words, for cost accounting.
+  static constexpr int kDescriptorWords = 4;
+
+  FrameRing(std::size_t capacity, DescriptorResidency residency,
+            SimAddr base_addr, CostHook& hook)
+      : slots_(capacity + 1),  // one empty slot distinguishes full from empty
+        residency_{residency},
+        base_addr_{base_addr},
+        hook_{&hook} {
+    assert(capacity >= 1);
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return slots_.size() - 1; }
+
+  [[nodiscard]] bool empty() const {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] std::size_t size() const {
+    const auto h = head_.load(std::memory_order_acquire);
+    const auto t = tail_.load(std::memory_order_acquire);
+    return (t + slots_.size() - h) % slots_.size();
+  }
+
+  /// Producer side: returns false when full (producer must back off).
+  bool push(const FrameDescriptor& d) {
+    const auto t = tail_.load(std::memory_order_relaxed);
+    const auto next = (t + 1) % slots_.size();
+    if (next == head_.load(std::memory_order_acquire)) return false;
+    touch_slot(t, kDescriptorWords);  // descriptor store
+    slots_[t] = d;
+    touch_pointer();                  // tail pointer update
+    tail_.store(next, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side: peek the head descriptor without removing it.
+  [[nodiscard]] std::optional<FrameDescriptor> front() const {
+    const auto h = head_.load(std::memory_order_relaxed);
+    if (h == tail_.load(std::memory_order_acquire)) return std::nullopt;
+    touch_slot(h, kDescriptorWords);
+    return slots_[h];
+  }
+
+  /// Consumer side: drop the head descriptor. Precondition: not empty.
+  void pop() {
+    const auto h = head_.load(std::memory_order_relaxed);
+    assert(h != tail_.load(std::memory_order_acquire));
+    touch_pointer();
+    head_.store((h + 1) % slots_.size(), std::memory_order_release);
+  }
+
+ private:
+  void touch_slot(std::size_t slot, int words) const {
+    if (residency_ == DescriptorResidency::kHardwareQueue) {
+      for (int i = 0; i < words; ++i) hook_->reg();
+    } else {
+      const SimAddr addr = base_addr_ + slot * (kDescriptorWords * 4);
+      for (int i = 0; i < words; ++i) {
+        hook_->mem(addr + static_cast<SimAddr>(i) * 4);
+      }
+    }
+  }
+  void touch_pointer() const {
+    if (residency_ == DescriptorResidency::kHardwareQueue) {
+      hook_->reg();  // index register
+    } else {
+      hook_->mem(base_addr_ + 4096);  // head/tail word next to the slots
+    }
+  }
+
+  std::vector<FrameDescriptor> slots_;
+  DescriptorResidency residency_;
+  SimAddr base_addr_;
+  CostHook* hook_;
+  std::atomic<std::size_t> head_{0};
+  std::atomic<std::size_t> tail_{0};
+};
+
+}  // namespace nistream::dwcs

@@ -1,0 +1,236 @@
+#include "dwcs/scheduler.hpp"
+
+#include <cassert>
+
+namespace nistream::dwcs {
+
+DwcsScheduler::DwcsScheduler(Config config, CostHook& hook)
+    : config_{config},
+      hook_{&hook},
+      comparator_{config.arith, hook},
+      repr_{make_repr(config.repr, *this, comparator_, hook,
+                      /*heap_base=*/0x0100'0000)} {}
+
+const StreamView& DwcsScheduler::view(StreamId id) const {
+  assert(id < streams_.size());
+  return streams_[id].view;
+}
+
+const StreamParams& DwcsScheduler::stream_params(StreamId id) const {
+  assert(id < streams_.size());
+  return streams_[id].params;
+}
+
+const StreamStats& DwcsScheduler::stats(StreamId id) const {
+  assert(id < streams_.size());
+  return streams_[id].stats;
+}
+
+std::size_t DwcsScheduler::backlog(StreamId id) const {
+  assert(id < streams_.size());
+  return streams_[id].ring->size();
+}
+
+StreamId DwcsScheduler::create_stream(const StreamParams& params,
+                                      sim::Time now) {
+  assert(params.tolerance.valid());
+  assert(params.period > sim::Time::zero());
+  const auto id = static_cast<StreamId>(streams_.size());
+  StreamState s;
+  s.params = params;
+  s.view.original = params.tolerance;
+  s.view.current = params.tolerance;
+  s.view.next_deadline = now + params.period;
+  s.ring = std::make_unique<FrameRing>(config_.ring_capacity,
+                                       config_.residency, next_ring_base_,
+                                       *hook_);
+  s.state_addr = 0x00F0'0000 + static_cast<SimAddr>(id) * 128;
+  next_ring_base_ += 0x10000;  // rings 64 KB apart in simulated memory
+  streams_.push_back(std::move(s));
+  return id;
+}
+
+bool DwcsScheduler::enqueue(StreamId id, const FrameDescriptor& frame,
+                            sim::Time now) {
+  assert(id < streams_.size());
+  StreamState& s = streams_[id];
+  const bool was_empty = s.ring->empty();
+  if (!s.ring->push(frame)) return false;
+  ++s.stats.enqueued;
+  if (was_empty) {
+    s.view.head_enqueued_at = frame.enqueued_at;
+    s.view.has_backlog = true;
+    if (config_.reset_deadline_on_idle && s.view.next_deadline < now) {
+      // The stream idled past its grid; restart rather than charging the
+      // idle gap as a burst of losses.
+      s.view.next_deadline = now + s.params.period;
+    }
+    repr_->insert(id);
+  }
+  return true;
+}
+
+void DwcsScheduler::adjust_serviced(StreamState& s) {
+  // Rule (A): on-time service.
+  auto& cur = s.view.current;
+  const auto& orig = s.view.original;
+  hook_->arith_int(Op::kCmp, 1);
+  if (cur.y > cur.x) {
+    hook_->arith_int(Op::kAdd, 1);
+    --cur.y;
+  }
+  hook_->arith_int(Op::kCmp, 1);
+  if (cur.y == cur.x) {
+    cur = orig;  // window complete: y-x on-time services happened
+  }
+}
+
+void DwcsScheduler::adjust_lost(StreamState& s) {
+  // Rule (B): head packet lost or late.
+  auto& cur = s.view.current;
+  const auto& orig = s.view.original;
+  hook_->arith_int(Op::kCmp, 1);
+  if (cur.x > 0) {
+    hook_->arith_int(Op::kAdd, 2);
+    --cur.x;
+    --cur.y;
+    hook_->arith_int(Op::kCmp, 1);
+    if (cur.y == cur.x) cur = orig;
+  } else {
+    // Violation: the window constraint is broken. The stream stays at
+    // tolerance zero and its denominator grows, which raises its urgency
+    // under precedence rule 3 so it recovers service share.
+    ++s.stats.violations;
+    hook_->arith_int(Op::kAdd, 1);
+    ++cur.y;
+  }
+}
+
+void DwcsScheduler::touch_stream_state(StreamState& s, int words) {
+  for (int i = 0; i < words; ++i) {
+    hook_->mem(s.state_addr + static_cast<SimAddr>(i) * 4);
+  }
+}
+
+void DwcsScheduler::advance_deadline(StreamState& s, sim::Time now) {
+  hook_->arith_int(Op::kAdd, 1);
+  hook_->mem(s.state_addr);  // stream-descriptor deadline field
+  if (config_.deadline_from_completion && now > s.view.next_deadline) {
+    s.view.next_deadline = now + s.params.period;
+  } else {
+    s.view.next_deadline += s.params.period;
+  }
+}
+
+void DwcsScheduler::refresh_head_arrival(StreamState& s) {
+  if (const auto head = s.ring->front()) {
+    s.view.head_enqueued_at = head->enqueued_at;
+  }
+}
+
+void DwcsScheduler::process_late(sim::Time now) {
+  // Walk streams in deadline order; stop at the first stream that is not
+  // late (every later one is on time too) or at a late loss-intolerant
+  // stream that has already been adjusted (it is about to be serviced late).
+  while (const auto sid = repr_->earliest_deadline()) {
+    StreamState& s = streams_[*sid];
+    hook_->arith_int(Op::kCmp, 1);
+    if (s.view.next_deadline >= now) break;
+    if (s.params.lossy) {
+      // Drop without transmitting — saves the wire bandwidth entirely.
+      s.ring->pop();
+      ++s.stats.dropped;
+      touch_stream_state(s, kDropStateWords);
+      adjust_lost(s);
+      advance_deadline(s, now);
+      if (s.ring->empty()) {
+        s.view.has_backlog = false;
+        repr_->remove(*sid);
+      } else {
+        refresh_head_arrival(s);
+        repr_->update(*sid);
+      }
+    } else {
+      if (!s.head_late_adjusted) {
+        adjust_lost(s);
+        s.head_late_adjusted = true;
+        repr_->update(*sid);
+      }
+      break;  // keeps the earliest deadline: it will be picked this cycle
+    }
+  }
+}
+
+std::optional<Dispatch> DwcsScheduler::schedule_next(sim::Time now) {
+  hook_->cycles(config_.decision_overhead_cycles);
+  ++decisions_;
+
+  process_late(now);
+
+  // process_late stops at the first late loss-intolerant stream (it keeps
+  // the earliest deadline and is about to be serviced late). A late *lossy*
+  // stream that ties with it on deadline can still win the tolerance
+  // tie-break here — its head must be dropped, never transmitted late.
+  std::optional<StreamId> sid;
+  for (;;) {
+    sid = repr_->pick();
+    if (!sid) return std::nullopt;
+    StreamState& cand = streams_[*sid];
+    hook_->arith_int(Op::kCmp, 1);
+    if (!cand.params.lossy || cand.view.next_deadline >= now) break;
+    cand.ring->pop();
+    ++cand.stats.dropped;
+    touch_stream_state(cand, kDropStateWords);
+    adjust_lost(cand);
+    advance_deadline(cand, now);
+    if (cand.ring->empty()) {
+      cand.view.has_backlog = false;
+      repr_->remove(*sid);
+    } else {
+      refresh_head_arrival(cand);
+      repr_->update(*sid);
+    }
+  }
+  StreamState& s = streams_[*sid];
+  const auto head = s.ring->front();
+  assert(head.has_value());
+  s.ring->pop();
+
+  Dispatch d;
+  d.stream = *sid;
+  d.frame = *head;
+  d.deadline = s.view.next_deadline;
+  hook_->arith_int(Op::kCmp, 1);
+  d.late = s.view.next_deadline < now;
+
+  touch_stream_state(s, kServiceStateWords);
+  if (d.late) {
+    // Late transmission on a loss-intolerant stream: the loss adjustment
+    // already happened in process_late.
+    assert(!s.params.lossy);
+    ++s.stats.serviced_late;
+    s.head_late_adjusted = false;
+  } else {
+    ++s.stats.serviced_on_time;
+    adjust_serviced(s);
+  }
+  s.stats.bytes_sent += head->bytes;
+  advance_deadline(s, now);
+
+  if (s.ring->empty()) {
+    s.view.has_backlog = false;
+    repr_->remove(*sid);
+  } else {
+    refresh_head_arrival(s);
+    repr_->update(*sid);
+  }
+  return d;
+}
+
+std::uint64_t DwcsScheduler::total_violations() const {
+  std::uint64_t sum = 0;
+  for (const auto& s : streams_) sum += s.stats.violations;
+  return sum;
+}
+
+}  // namespace nistream::dwcs

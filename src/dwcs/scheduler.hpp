@@ -1,0 +1,147 @@
+// The DWCS scheduler, plus the generic packet-scheduler interface that the
+// baseline policies (EDF, static priority, round-robin) also implement.
+//
+// Lifecycle per scheduling cycle (schedule_next):
+//   1. Late-packet processing: streams whose head packet missed its deadline
+//      get the rule-(B) window adjustment; lossy streams drop the packet
+//      without transmitting it ("stream-selective lossiness", the paper's
+//      traffic-elimination mechanism), loss-intolerant streams keep it for
+//      late transmission.
+//   2. Pick: the representation returns the stream with lowest priority
+//      value under the precedence rules (comparator.hpp).
+//   3. Service: dequeue the head frame, apply the rule-(A) window adjustment
+//      (for on-time service), advance the stream's deadline by its period.
+//
+// Window-constraint adjustments (West & Schwan). With original constraint
+// x/y and current x'/y':
+//   (A) serviced before deadline:   if (y' > x') y'--;
+//                                   if (y' == x') { x'=x; y'=y; }   [window
+//       complete: y-x on-time services satisfy any window of y packets]
+//   (B) head packet lost/late:      if (x' > 0) { x'--; y'--;
+//                                     if (y' == x') { x'=x; y'=y; } }
+//                                   else violation: y'++  [rule 3 makes the
+//       violated stream increasingly urgent among zero-tolerance streams]
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "dwcs/comparator.hpp"
+#include "dwcs/cost.hpp"
+#include "dwcs/repr.hpp"
+#include "dwcs/ring.hpp"
+#include "dwcs/types.hpp"
+#include "sim/time.hpp"
+
+namespace nistream::dwcs {
+
+/// Interface shared by DWCS and the baseline policies, so experiments can
+/// swap schedulers without touching the harness.
+class PacketScheduler {
+ public:
+  virtual ~PacketScheduler() = default;
+
+  virtual StreamId create_stream(const StreamParams& params, sim::Time now) = 0;
+  /// Producer side. Returns false when the stream's ring is full.
+  virtual bool enqueue(StreamId id, const FrameDescriptor& frame,
+                       sim::Time now) = 0;
+  /// One scheduling cycle at time `now`; nullopt when nothing is backlogged.
+  virtual std::optional<Dispatch> schedule_next(sim::Time now) = 0;
+
+  [[nodiscard]] virtual const StreamStats& stats(StreamId id) const = 0;
+  [[nodiscard]] virtual std::size_t backlog(StreamId id) const = 0;
+  [[nodiscard]] virtual std::size_t stream_count() const = 0;
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+class DwcsScheduler final : public PacketScheduler, private StreamTable {
+ public:
+  struct Config {
+    ArithMode arith = ArithMode::kFixedPoint;
+    ReprKind repr = ReprKind::kDualHeap;
+    DescriptorResidency residency = DescriptorResidency::kPinnedMemory;
+    std::size_t ring_capacity = 256;
+    /// On an empty->backlogged transition, restart the deadline grid at
+    /// now + period instead of charging the idle gap as misses.
+    bool reset_deadline_on_idle = true;
+    /// Deadline anchoring. The paper defines the deadline as "the maximum
+    /// allowable time between servicing consecutive packets": anchored to
+    /// the previous packet's actual service/drop time (true), the next
+    /// deadline is service_time + period, so one late service does not
+    /// cascade into lateness for every successor. Anchored to a fixed grid
+    /// (false), deadlines advance by exactly one period per departure.
+    bool deadline_from_completion = false;
+    /// Fixed control-flow overhead charged per scheduling decision (call
+    /// chain, instruction fetch, kernel entry/exit on the embedded build) —
+    /// calibrated so the 66 MHz i960 decision path lands on Table 1/2.
+    std::int64_t decision_overhead_cycles = 4100;
+  };
+
+  explicit DwcsScheduler(Config config, CostHook& hook = null_cost_hook());
+
+  // PacketScheduler:
+  StreamId create_stream(const StreamParams& params, sim::Time now) override;
+  bool enqueue(StreamId id, const FrameDescriptor& frame, sim::Time now) override;
+  std::optional<Dispatch> schedule_next(sim::Time now) override;
+  [[nodiscard]] const StreamStats& stats(StreamId id) const override;
+  [[nodiscard]] std::size_t backlog(StreamId id) const override;
+  [[nodiscard]] std::size_t stream_count() const override {
+    return streams_.size();
+  }
+  [[nodiscard]] const char* name() const override { return "dwcs"; }
+
+  // Introspection for tests and experiments:
+  [[nodiscard]] const StreamView& stream_view(StreamId id) const {
+    return view(id);
+  }
+  [[nodiscard]] const StreamParams& stream_params(StreamId id) const;
+  [[nodiscard]] std::uint64_t decisions() const { return decisions_; }
+  [[nodiscard]] std::uint64_t total_violations() const;
+  [[nodiscard]] const Config& config() const { return config_; }
+
+  /// Deadline of the earliest-deadline backlogged stream; nullopt when idle.
+  /// Used by paced dispatch loops to sleep until the next service instant.
+  [[nodiscard]] std::optional<sim::Time> earliest_backlog_deadline() {
+    const auto sid = repr_->earliest_deadline();
+    if (!sid) return std::nullopt;
+    return streams_[*sid].view.next_deadline;
+  }
+
+ private:
+  struct StreamState {
+    StreamParams params;
+    StreamView view;  // dynamic keys, exposed to representations
+    std::unique_ptr<FrameRing> ring;
+    StreamStats stats;
+    bool head_late_adjusted = false;  // rule B applied to the current head
+    SimAddr state_addr = 0;  // simulated address of the stream-state block
+  };
+
+  /// Words of per-stream state (attributes, deadline, stats, timestamps)
+  /// read+written when a frame is serviced / dropped. This is the traffic
+  /// the i960 d-cache accelerates in Table 2.
+  static constexpr int kServiceStateWords = 24;
+  static constexpr int kDropStateWords = 12;
+  void touch_stream_state(StreamState& s, int words);
+
+  // StreamTable:
+  [[nodiscard]] const StreamView& view(StreamId id) const override;
+
+  void adjust_serviced(StreamState& s);  // rule (A)
+  void adjust_lost(StreamState& s);      // rule (B)
+  void advance_deadline(StreamState& s, sim::Time now);
+  void refresh_head_arrival(StreamState& s);
+  void process_late(sim::Time now);
+
+  Config config_;
+  CostHook* hook_;
+  Comparator comparator_;
+  std::vector<StreamState> streams_;
+  std::unique_ptr<ScheduleRepr> repr_;
+  std::uint64_t decisions_ = 0;
+  SimAddr next_ring_base_ = 0x0200'0000;  // simulated card-memory layout
+};
+
+}  // namespace nistream::dwcs

@@ -1,0 +1,79 @@
+// Q16.16 fixed-point scalar.
+//
+// The embedded DWCS port needs "fractional values to one or two decimal
+// places" (paper §4.2). Q16.16 gives ~4.6 decimal digits of fraction in a
+// 32-bit word — ample — with add/sub as plain integer ops and mul/div as a
+// 64-bit multiply plus shift, exactly the operations an i960 (no FPU)
+// executes cheaply.
+#pragma once
+
+#include <cassert>
+#include <compare>
+#include <cstdint>
+#include <ostream>
+
+namespace nistream::fixedpt {
+
+class Fixed {
+ public:
+  static constexpr int kFractionBits = 16;
+  static constexpr std::int64_t kOne = std::int64_t{1} << kFractionBits;
+
+  constexpr Fixed() = default;
+
+  [[nodiscard]] static constexpr Fixed from_int(std::int64_t v) {
+    return Fixed{v << kFractionBits};
+  }
+  [[nodiscard]] static constexpr Fixed from_double(double v) {
+    return Fixed{static_cast<std::int64_t>(v * static_cast<double>(kOne) +
+                                           (v >= 0 ? 0.5 : -0.5))};
+  }
+  /// Exact ratio a/b rounded to nearest representable value.
+  [[nodiscard]] static constexpr Fixed from_ratio(std::int64_t a, std::int64_t b) {
+    assert(b != 0);
+    const __int128 scaled = static_cast<__int128>(a) << kFractionBits;
+    __int128 q = scaled / b;
+    const __int128 rem2 = (scaled % b) * 2;
+    if (rem2 >= b) ++q; else if (rem2 <= -b) --q;
+    return Fixed{static_cast<std::int64_t>(q)};
+  }
+  [[nodiscard]] static constexpr Fixed raw(std::int64_t bits) { return Fixed{bits}; }
+
+  [[nodiscard]] constexpr std::int64_t raw_bits() const { return bits_; }
+  [[nodiscard]] constexpr double to_double() const {
+    return static_cast<double>(bits_) / static_cast<double>(kOne);
+  }
+  [[nodiscard]] constexpr std::int64_t to_int() const {
+    // Truncation toward negative infinity (arithmetic shift).
+    return bits_ >> kFractionBits;
+  }
+
+  constexpr auto operator<=>(const Fixed&) const = default;
+
+  friend constexpr Fixed operator+(Fixed a, Fixed b) { return Fixed{a.bits_ + b.bits_}; }
+  friend constexpr Fixed operator-(Fixed a, Fixed b) { return Fixed{a.bits_ - b.bits_}; }
+  friend constexpr Fixed operator*(Fixed a, Fixed b) {
+    return Fixed{static_cast<std::int64_t>(
+        (static_cast<__int128>(a.bits_) * b.bits_) >> kFractionBits)};
+  }
+  friend constexpr Fixed operator/(Fixed a, Fixed b) {
+    assert(b.bits_ != 0);
+    return Fixed{static_cast<std::int64_t>(
+        (static_cast<__int128>(a.bits_) << kFractionBits) / b.bits_)};
+  }
+  constexpr Fixed& operator+=(Fixed o) { bits_ += o.bits_; return *this; }
+  constexpr Fixed& operator-=(Fixed o) { bits_ -= o.bits_; return *this; }
+
+  /// Shift-division (divisor a power of two): single arithmetic shift.
+  [[nodiscard]] constexpr Fixed shr(int shift) const { return Fixed{bits_ >> shift}; }
+
+  friend std::ostream& operator<<(std::ostream& os, Fixed f) {
+    return os << f.to_double();
+  }
+
+ private:
+  explicit constexpr Fixed(std::int64_t bits) : bits_{bits} {}
+  std::int64_t bits_ = 0;
+};
+
+}  // namespace nistream::fixedpt

@@ -1,0 +1,94 @@
+// Exact fraction type, as used by the paper's fixed-point DWCS port.
+//
+// The paper (§4.2): "arguments are simply stored as fractions with numerator
+// and denominator with divisions implemented as shifts". DWCS loss-tolerances
+// are ratios x/y of small integers; comparing two tolerances never needs a
+// division at all — cross-multiplication is exact and costs two integer
+// multiplies. This is precisely why the fixed-point port loses no scheduling
+// quality (paper §4.2): every comparison DWCS makes is computed exactly.
+#pragma once
+
+#include <cassert>
+#include <compare>
+#include <cstdint>
+#include <numeric>
+#include <ostream>
+
+namespace nistream::fixedpt {
+
+/// A non-negative rational x/y. y == 0 is permitted only with x == 0 and
+/// denotes the "no constraint" value (compares as +infinity tolerance in
+/// DWCS terms is NOT what we want — DWCS treats x/y with y=0 as unused, and
+/// tolerance 0/y as the tightest). Keep denominators positive elsewhere.
+class Fraction {
+ public:
+  constexpr Fraction() = default;
+  constexpr Fraction(std::int64_t num, std::int64_t den) : num_{num}, den_{den} {
+    assert(num_ >= 0 && den_ >= 0);
+  }
+
+  [[nodiscard]] constexpr std::int64_t num() const { return num_; }
+  [[nodiscard]] constexpr std::int64_t den() const { return den_; }
+
+  [[nodiscard]] constexpr bool is_zero() const { return num_ == 0; }
+
+  /// Exact comparison by cross-multiplication — no division, no rounding.
+  /// Both denominators must be > 0.
+  [[nodiscard]] friend constexpr std::strong_ordering order(const Fraction& a,
+                                                            const Fraction& b) {
+    assert(a.den_ > 0 && b.den_ > 0);
+    const __int128 lhs = static_cast<__int128>(a.num_) * b.den_;
+    const __int128 rhs = static_cast<__int128>(b.num_) * a.den_;
+    if (lhs < rhs) return std::strong_ordering::less;
+    if (lhs > rhs) return std::strong_ordering::greater;
+    return std::strong_ordering::equal;
+  }
+
+  friend constexpr bool operator==(const Fraction& a, const Fraction& b) {
+    return order(a, b) == std::strong_ordering::equal;
+  }
+  friend constexpr bool operator<(const Fraction& a, const Fraction& b) {
+    return order(a, b) == std::strong_ordering::less;
+  }
+  friend constexpr bool operator>(const Fraction& a, const Fraction& b) {
+    return order(a, b) == std::strong_ordering::greater;
+  }
+  friend constexpr bool operator<=(const Fraction& a, const Fraction& b) {
+    return !(a > b);
+  }
+  friend constexpr bool operator>=(const Fraction& a, const Fraction& b) {
+    return !(a < b);
+  }
+
+  /// Reduce to lowest terms (useful for bounded growth in long runs).
+  [[nodiscard]] constexpr Fraction normalized() const {
+    if (num_ == 0) return Fraction{0, den_ > 0 ? 1 : 0};
+    const std::int64_t g = std::gcd(num_, den_);
+    return Fraction{num_ / g, den_ / g};
+  }
+
+  /// Approximate real value; only for reporting, never for scheduling.
+  [[nodiscard]] constexpr double to_double() const {
+    return den_ ? static_cast<double>(num_) / static_cast<double>(den_) : 0.0;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const Fraction& f) {
+    return os << f.num_ << "/" << f.den_;
+  }
+
+ private:
+  std::int64_t num_ = 0;
+  std::int64_t den_ = 1;
+};
+
+/// "Division implemented as shifts": divide a by b where b is a power of two.
+/// The paper's fixed-point port uses this for the few true divisions DWCS
+/// needs (windows sized as powers of two make every division a shift).
+[[nodiscard]] constexpr std::int64_t shift_divide(std::int64_t a, std::int64_t pow2) {
+  assert(pow2 > 0 && (pow2 & (pow2 - 1)) == 0 && "divisor must be a power of two");
+  int s = 0;
+  for (std::int64_t v = pow2; v > 1; v >>= 1) ++s;
+  return a >> s;
+}
+
+}  // namespace nistream::fixedpt

@@ -1,0 +1,269 @@
+#include "fixedpt/softfloat.hpp"
+
+#include <bit>
+#include <cassert>
+
+namespace nistream::fixedpt {
+namespace {
+
+constexpr std::uint32_t kSignMask = 0x80000000u;
+constexpr std::uint32_t kFracMask = 0x007fffffu;
+constexpr std::uint32_t kImplied = 0x00800000u;  // hidden leading 1
+constexpr std::uint32_t kQuietNan = 0x7fc00000u;
+constexpr int kExpBias = 127;
+
+struct Unpacked {
+  std::uint32_t sign;  // 0 or 1
+  std::int32_t exp;    // raw biased exponent, 0..255
+  std::uint32_t frac;  // 23 bits, without implied bit
+};
+
+constexpr Unpacked unpack(std::uint32_t b) {
+  return Unpacked{b >> 31, static_cast<std::int32_t>((b >> 23) & 0xff),
+                  b & kFracMask};
+}
+
+constexpr std::uint32_t pack(std::uint32_t sign, std::int32_t exp,
+                             std::uint32_t frac) {
+  return (sign << 31) | (static_cast<std::uint32_t>(exp) << 23) |
+         (frac & kFracMask);
+}
+
+constexpr bool raw_is_nan(const Unpacked& u) { return u.exp == 255 && u.frac != 0; }
+constexpr bool raw_is_inf(const Unpacked& u) { return u.exp == 255 && u.frac == 0; }
+// With flush-to-zero, exp==0 means zero whatever the fraction bits say.
+constexpr bool raw_is_zero(const Unpacked& u) { return u.exp == 0; }
+
+constexpr std::uint32_t signed_zero(std::uint32_t sign) { return sign << 31; }
+constexpr std::uint32_t signed_inf(std::uint32_t sign) {
+  return pack(sign, 255, 0);
+}
+
+/// Round-to-nearest-even a significand carrying 3 extra bits (guard, round,
+/// sticky) in its low bits; returns the rounded 24-bit (or 25-bit on carry)
+/// significand.
+constexpr std::uint64_t round_rne_3(std::uint64_t sig_grs) {
+  const std::uint64_t lsb = (sig_grs >> 3) & 1;
+  const std::uint64_t grs = sig_grs & 7;
+  std::uint64_t sig = sig_grs >> 3;
+  if (grs > 4 || (grs == 4 && lsb)) ++sig;
+  return sig;
+}
+
+/// Finalize a result whose 24-bit significand (possibly 25 bits after a
+/// rounding carry) and biased exponent are known.
+constexpr std::uint32_t finalize(std::uint32_t sign, std::int32_t exp,
+                                 std::uint64_t sig24) {
+  if (sig24 & (std::uint64_t{1} << 24)) {  // rounding carried out
+    sig24 >>= 1;
+    ++exp;
+  }
+  if (exp >= 255) return signed_inf(sign);
+  if (exp <= 0 || sig24 == 0) return signed_zero(sign);  // flush-to-zero
+  return pack(sign, exp, static_cast<std::uint32_t>(sig24) & kFracMask);
+}
+
+std::uint32_t add_magnitudes(Unpacked a, Unpacked b, std::uint32_t sign) {
+  // Precondition: a.exp >= b.exp, both finite non-zero.
+  const std::int32_t diff = a.exp - b.exp;
+  std::uint64_t sa = (std::uint64_t{a.frac} | kImplied) << 3;
+  std::uint64_t sb = (std::uint64_t{b.frac} | kImplied) << 3;
+  if (diff >= 27) {
+    sb = 1;  // pure sticky
+  } else if (diff > 0) {
+    const std::uint64_t lost = sb & ((std::uint64_t{1} << diff) - 1);
+    sb = (sb >> diff) | (lost ? 1 : 0);
+  }
+  std::uint64_t sum = sa + sb;
+  std::int32_t exp = a.exp;
+  if (sum & (std::uint64_t{1} << 27)) {  // carry out of the 24-bit field
+    const std::uint64_t lost = sum & 1;
+    sum = (sum >> 1) | lost;
+    ++exp;
+  }
+  return finalize(sign, exp, round_rne_3(sum));
+}
+
+std::uint32_t sub_magnitudes(Unpacked a, Unpacked b) {
+  // Computes |a| - |b| with correct sign; a and b finite non-zero.
+  std::uint32_t sign;
+  // Order so that |a| >= |b|.
+  if (a.exp < b.exp || (a.exp == b.exp && a.frac < b.frac)) {
+    std::swap(a, b);
+    sign = a.sign;  // after the swap, a is the larger magnitude
+  } else {
+    sign = a.sign;
+  }
+  if (a.exp == b.exp && a.frac == b.frac) return signed_zero(0);  // exact zero: +0
+
+  const std::int32_t diff = a.exp - b.exp;
+  std::uint64_t sa = (std::uint64_t{a.frac} | kImplied) << 3;
+  std::uint64_t sb = (std::uint64_t{b.frac} | kImplied) << 3;
+  if (diff >= 27) {
+    sb = 1;
+  } else if (diff > 0) {
+    const std::uint64_t lost = sb & ((std::uint64_t{1} << diff) - 1);
+    sb = (sb >> diff) | (lost ? 1 : 0);
+  }
+  std::uint64_t dif = sa - sb;
+  std::int32_t exp = a.exp;
+  // Normalize: bring the leading bit back to position 26.
+  while (dif != 0 && !(dif & (std::uint64_t{1} << 26))) {
+    dif <<= 1;
+    --exp;
+    if (exp <= 0) return signed_zero(sign);  // flush-to-zero
+  }
+  return finalize(sign, exp, round_rne_3(dif));
+}
+
+}  // namespace
+
+SoftFloat SoftFloat::from_float(float f) {
+  auto b = std::bit_cast<std::uint32_t>(f);
+  const Unpacked u = unpack(b);
+  if (u.exp == 0) b = signed_zero(u.sign);  // flush subnormal inputs
+  return from_bits(b);
+}
+
+SoftFloat SoftFloat::from_int(std::int32_t v) {
+  if (v == 0) return from_bits(0);
+  const std::uint32_t sign = v < 0 ? 1u : 0u;
+  std::uint64_t mag = sign ? -static_cast<std::int64_t>(v) : v;
+  std::int32_t exp = kExpBias + 23;
+  // Normalize to 24 bits with GRS sticky collection for large magnitudes.
+  std::uint64_t grs = mag << 3;
+  while (grs >= (std::uint64_t{1} << 27)) {
+    const std::uint64_t lost = grs & 1;
+    grs = (grs >> 1) | lost;
+    ++exp;
+  }
+  while (grs < (std::uint64_t{1} << 26)) {
+    grs <<= 1;
+    --exp;
+  }
+  return from_bits(finalize(sign, exp, round_rne_3(grs)));
+}
+
+float SoftFloat::to_float() const { return std::bit_cast<float>(bits_); }
+
+bool SoftFloat::is_nan() const { return raw_is_nan(unpack(bits_)); }
+bool SoftFloat::is_inf() const { return raw_is_inf(unpack(bits_)); }
+bool SoftFloat::is_zero() const { return raw_is_zero(unpack(bits_)); }
+
+SoftFloat operator+(SoftFloat x, SoftFloat y) {
+  Unpacked a = unpack(x.bits_), b = unpack(y.bits_);
+  if (raw_is_nan(a) || raw_is_nan(b)) return SoftFloat::from_bits(kQuietNan);
+  if (raw_is_inf(a) || raw_is_inf(b)) {
+    if (raw_is_inf(a) && raw_is_inf(b) && a.sign != b.sign)
+      return SoftFloat::from_bits(kQuietNan);
+    return SoftFloat::from_bits(raw_is_inf(a) ? x.bits_ : y.bits_);
+  }
+  if (raw_is_zero(a) && raw_is_zero(b)) {
+    // +0 + -0 == +0 under round-to-nearest.
+    return SoftFloat::from_bits(signed_zero(a.sign & b.sign));
+  }
+  if (raw_is_zero(a)) return y;
+  if (raw_is_zero(b)) return x;
+
+  if (a.sign == b.sign) {
+    if (a.exp < b.exp || (a.exp == b.exp && a.frac < b.frac)) std::swap(a, b);
+    return SoftFloat::from_bits(add_magnitudes(a, b, a.sign));
+  }
+  // Opposite signs: true subtraction of magnitudes; the sign of the larger
+  // magnitude wins, so encode b's role by flipping it into sub_magnitudes.
+  return SoftFloat::from_bits(sub_magnitudes(a, b));
+}
+
+SoftFloat operator-(SoftFloat x, SoftFloat y) {
+  return x + SoftFloat::from_bits(y.bits_ ^ kSignMask);
+}
+
+SoftFloat operator*(SoftFloat x, SoftFloat y) {
+  const Unpacked a = unpack(x.bits_), b = unpack(y.bits_);
+  const std::uint32_t sign = a.sign ^ b.sign;
+  if (raw_is_nan(a) || raw_is_nan(b)) return SoftFloat::from_bits(kQuietNan);
+  if (raw_is_inf(a) || raw_is_inf(b)) {
+    if (raw_is_zero(a) || raw_is_zero(b)) return SoftFloat::from_bits(kQuietNan);
+    return SoftFloat::from_bits(signed_inf(sign));
+  }
+  if (raw_is_zero(a) || raw_is_zero(b))
+    return SoftFloat::from_bits(signed_zero(sign));
+
+  std::int32_t exp = a.exp + b.exp - kExpBias;
+  const std::uint64_t p = static_cast<std::uint64_t>(a.frac | kImplied) *
+                          (b.frac | kImplied);  // in [2^46, 2^48)
+  // Reduce the 48-bit product to 24-bit significand + 3 GRS bits (27 bits);
+  // everything below the sticky position ORs into bit 0.
+  std::uint64_t q;
+  if (p & (std::uint64_t{1} << 47)) {
+    ++exp;
+    q = (p >> 21) | ((p & ((std::uint64_t{1} << 21) - 1)) ? 1 : 0);
+  } else {
+    q = (p >> 20) | ((p & ((std::uint64_t{1} << 20) - 1)) ? 1 : 0);
+  }
+  return SoftFloat::from_bits(finalize(sign, exp, round_rne_3(q)));
+}
+
+SoftFloat operator/(SoftFloat x, SoftFloat y) {
+  const Unpacked a = unpack(x.bits_), b = unpack(y.bits_);
+  const std::uint32_t sign = a.sign ^ b.sign;
+  if (raw_is_nan(a) || raw_is_nan(b)) return SoftFloat::from_bits(kQuietNan);
+  if (raw_is_inf(a)) {
+    if (raw_is_inf(b)) return SoftFloat::from_bits(kQuietNan);
+    return SoftFloat::from_bits(signed_inf(sign));
+  }
+  if (raw_is_inf(b)) return SoftFloat::from_bits(signed_zero(sign));
+  if (raw_is_zero(b)) {
+    if (raw_is_zero(a)) return SoftFloat::from_bits(kQuietNan);
+    return SoftFloat::from_bits(signed_inf(sign));
+  }
+  if (raw_is_zero(a)) return SoftFloat::from_bits(signed_zero(sign));
+
+  std::int32_t exp = a.exp - b.exp + kExpBias;
+  const std::uint64_t sa = std::uint64_t{a.frac} | kImplied;
+  const std::uint64_t sb = std::uint64_t{b.frac} | kImplied;
+  // One extra quotient bit beyond the 27 we keep, so normalization never
+  // invents precision: q in (2^26, 2^28].
+  const std::uint64_t num = sa << 27;
+  std::uint64_t q = num / sb;
+  std::uint64_t sticky = (num % sb) ? 1 : 0;
+  if (q & (std::uint64_t{1} << 27)) {
+    sticky |= q & 1;
+    q >>= 1;
+  } else {
+    --exp;
+  }
+  q |= sticky;
+  return SoftFloat::from_bits(finalize(sign, exp, round_rne_3(q)));
+}
+
+bool operator==(SoftFloat a, SoftFloat b) {
+  const Unpacked ua = unpack(a.bits_), ub = unpack(b.bits_);
+  if (raw_is_nan(ua) || raw_is_nan(ub)) return false;
+  if (raw_is_zero(ua) && raw_is_zero(ub)) return true;  // +0 == -0
+  return a.bits_ == b.bits_;
+}
+
+bool operator<(SoftFloat a, SoftFloat b) {
+  const Unpacked ua = unpack(a.bits_), ub = unpack(b.bits_);
+  if (raw_is_nan(ua) || raw_is_nan(ub)) return false;
+  if (raw_is_zero(ua) && raw_is_zero(ub)) return false;
+  // Compare as sign-magnitude: map to a monotonically ordered integer key.
+  const auto key = [](std::uint32_t bits) -> std::int64_t {
+    const std::int64_t mag = bits & 0x7fffffff;
+    return (bits & kSignMask) ? -mag : mag;
+  };
+  // Flushed zeros: treat exp==0 as magnitude 0 regardless of fraction bits.
+  const auto norm = [](const Unpacked& u, std::uint32_t bits) -> std::uint32_t {
+    return raw_is_zero(u) ? signed_zero(u.sign) : bits;
+  };
+  return key(norm(ua, a.bits_)) < key(norm(ub, b.bits_));
+}
+
+bool operator<=(SoftFloat a, SoftFloat b) {
+  const Unpacked ua = unpack(a.bits_), ub = unpack(b.bits_);
+  if (raw_is_nan(ua) || raw_is_nan(ub)) return false;
+  return a == b || a < b;
+}
+
+}  // namespace nistream::fixedpt

@@ -1,0 +1,59 @@
+// Software-emulated IEEE-754 binary32 arithmetic.
+//
+// The i960 RD has no floating-point unit; the paper's first DWCS port uses
+// the VxWorks software floating-point library and measures ~20 us of extra
+// scheduling latency per decision from it. We reproduce that substrate as a
+// real soft-float implementation (integer-only add/sub/mul/div/compare with
+// round-to-nearest-even), so the fixed-point-vs-soft-float ablation compares
+// genuine implementations, and so the CPU cost model can charge emulation
+// cycles at exactly the call sites that would have trapped to the library.
+//
+// Simplification relative to full IEEE-754 (documented, tested accordingly):
+// subnormal inputs and outputs are flushed to zero — the common embedded-
+// library behaviour. NaNs are canonicalized (no payload propagation).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+
+namespace nistream::fixedpt {
+
+class SoftFloat {
+ public:
+  constexpr SoftFloat() = default;
+
+  [[nodiscard]] static SoftFloat from_float(float f);
+  [[nodiscard]] static SoftFloat from_int(std::int32_t v);
+  [[nodiscard]] static constexpr SoftFloat from_bits(std::uint32_t b) {
+    return SoftFloat{b};
+  }
+
+  [[nodiscard]] float to_float() const;
+  [[nodiscard]] constexpr std::uint32_t bits() const { return bits_; }
+
+  [[nodiscard]] bool is_nan() const;
+  [[nodiscard]] bool is_inf() const;
+  [[nodiscard]] bool is_zero() const;
+
+  friend SoftFloat operator+(SoftFloat a, SoftFloat b);
+  friend SoftFloat operator-(SoftFloat a, SoftFloat b);
+  friend SoftFloat operator*(SoftFloat a, SoftFloat b);
+  friend SoftFloat operator/(SoftFloat a, SoftFloat b);
+
+  /// IEEE comparisons: any comparison with NaN is false (except !=).
+  friend bool operator==(SoftFloat a, SoftFloat b);
+  friend bool operator<(SoftFloat a, SoftFloat b);
+  friend bool operator>(SoftFloat a, SoftFloat b) { return b < a; }
+  friend bool operator<=(SoftFloat a, SoftFloat b);
+  friend bool operator>=(SoftFloat a, SoftFloat b) { return b <= a; }
+
+  friend std::ostream& operator<<(std::ostream& os, SoftFloat f) {
+    return os << f.to_float();
+  }
+
+ private:
+  explicit constexpr SoftFloat(std::uint32_t b) : bits_{b} {}
+  std::uint32_t bits_ = 0;
+};
+
+}  // namespace nistream::fixedpt

@@ -1,0 +1,148 @@
+// Host filesystem models: Solaris UFS vs mounted VxWorks dosFs.
+//
+// Table 4 Experiment I measures the same MPEG file served through two
+// filesystems on the same disk: ~1 ms/frame via UFS (8 KB logical blocks,
+// buffer cache, read-ahead) vs ~8 ms/frame via the DOS filesystem VxWorks
+// uses (no cache, FAT chain walked on disk for every read). Both models sit
+// on a ScsiDisk and add exactly those mechanisms.
+//
+// CPU accounting: per-call overheads (syscall + block copy) can be charged to
+// a scheduler thread so that file service competes for the host CPU (this
+// matters under the Figure 7/8 load); pass nullptr to model an otherwise
+// idle machine where only latency matters (Table 4).
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "hw/calibration.hpp"
+#include "hw/scsi_disk.hpp"
+#include "sim/coro.hpp"
+#include "sim/cpusched.hpp"
+#include "sim/engine.hpp"
+
+namespace nistream::hostos {
+
+/// UFS: logical-block buffer cache with one-block read-ahead.
+class UfsFilesystem {
+ public:
+  UfsFilesystem(sim::Engine& engine, hw::ScsiDisk& disk,
+                const hw::FilesystemParams& p = hw::kFilesystems)
+      : engine_{engine}, disk_{disk}, params_{p} {}
+
+  UfsFilesystem(const UfsFilesystem&) = delete;
+  UfsFilesystem& operator=(const UfsFilesystem&) = delete;
+
+  /// Read `bytes` at byte `offset`. Cached blocks cost only the per-call
+  /// overhead; missing blocks go to disk. After each call the next block is
+  /// prefetched in the background.
+  sim::Coro read(std::uint64_t offset, std::uint32_t bytes,
+                 sim::CpuScheduler* cpu = nullptr,
+                 sim::CpuScheduler::Thread* thread = nullptr) {
+    const std::uint64_t bs = params_.ufs_block_bytes;
+    const std::uint64_t first = offset / bs;
+    const std::uint64_t last = (offset + bytes - 1) / bs;
+    for (std::uint64_t b = first; b <= last; ++b) {
+      if (!cached_.contains(b)) {
+        ++misses_;
+        co_await disk_.read(b * bs, bs);
+        cached_.insert(b);
+        inflight_.erase(b);
+      } else {
+        ++hits_;
+      }
+    }
+    if (params_.ufs_readahead) prefetch(last + 1);
+    if (cpu && thread) {
+      co_await cpu->run(*thread, params_.ufs_per_call_overhead);
+    } else {
+      co_await sim::Delay{engine_, params_.ufs_per_call_overhead};
+    }
+  }
+
+  [[nodiscard]] std::uint64_t cache_hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t cache_misses() const { return misses_; }
+
+  /// Drop the buffer cache (e.g. after remount).
+  void drop_caches() { cached_.clear(); }
+
+ private:
+  void prefetch(std::uint64_t block) {
+    if (cached_.contains(block) || inflight_.contains(block)) return;
+    inflight_.insert(block);
+    const std::uint64_t bs = params_.ufs_block_bytes;
+    [](UfsFilesystem& self, std::uint64_t b, std::uint64_t blk_sz) -> sim::Coro {
+      co_await self.disk_.read(b * blk_sz, blk_sz);
+      self.cached_.insert(b);
+      self.inflight_.erase(b);
+    }(*this, block, bs).detach();
+  }
+
+  sim::Engine& engine_;
+  hw::ScsiDisk& disk_;
+  hw::FilesystemParams params_;
+  std::unordered_set<std::uint64_t> cached_;
+  std::unordered_set<std::uint64_t> inflight_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+/// dosFs (the VxWorks FAT filesystem, here mounted on the host): no buffer
+/// cache; every read walks the FAT on disk (a separate mechanical access in
+/// the FAT region) and then reads the data clusters.
+class DosFilesystem {
+ public:
+  /// `fat_region_offset` places the FAT far from the data area so the chain
+  /// walk costs a real seek, as it does on a FAT volume.
+  DosFilesystem(sim::Engine& engine, hw::ScsiDisk& disk,
+                const hw::FilesystemParams& p = hw::kFilesystems,
+                std::uint64_t fat_region_offset = 0)
+      : engine_{engine}, disk_{disk}, params_{p},
+        fat_offset_{fat_region_offset} {}
+
+  DosFilesystem(const DosFilesystem&) = delete;
+  DosFilesystem& operator=(const DosFilesystem&) = delete;
+
+  sim::Coro read(std::uint64_t offset, std::uint32_t bytes,
+                 sim::CpuScheduler* cpu = nullptr,
+                 sim::CpuScheduler::Thread* thread = nullptr) {
+    // FAT chain lookup. The driver holds the *current* FAT sector in RAM
+    // (that much caching even dosFs does), so the mechanical FAT access
+    // only recurs when the chain crosses into a new FAT sector; the chain
+    // walk itself costs CPU on every call.
+    const std::uint64_t fat_sector = fat_offset_ + (offset / (128 * 512)) * 512;
+    if (fat_sector != cached_fat_sector_) {
+      co_await disk_.read(fat_sector, 512);
+      cached_fat_sector_ = fat_sector;
+    }
+    if (cpu && thread) {
+      co_await cpu->run(*thread, params_.dosfs_fat_lookup);
+    } else {
+      co_await sim::Delay{engine_, params_.dosfs_fat_lookup};
+    }
+    // Data clusters: one contiguous mechanical access (clusters of a fresh
+    // file are laid out sequentially), rounded up to whole 512-byte sectors.
+    const std::uint64_t bs = params_.dosfs_block_bytes;
+    const std::uint64_t len = ((bytes + bs - 1) / bs) * bs;
+    co_await disk_.read(data_region_ + offset, len);
+    if (cpu && thread) {
+      co_await cpu->run(*thread, params_.dosfs_per_call_overhead);
+    } else {
+      co_await sim::Delay{engine_, params_.dosfs_per_call_overhead};
+    }
+    ++reads_;
+  }
+
+  [[nodiscard]] std::uint64_t reads() const { return reads_; }
+
+ private:
+  sim::Engine& engine_;
+  hw::ScsiDisk& disk_;
+  hw::FilesystemParams params_;
+  std::uint64_t fat_offset_;
+  std::uint64_t cached_fat_sector_ = ~std::uint64_t{0};
+  std::uint64_t data_region_ = 512ull * 1024 * 1024;  // far from the FAT
+  std::uint64_t reads_ = 0;
+};
+
+}  // namespace nistream::hostos

@@ -1,0 +1,106 @@
+// Host operating-system model (Solaris 2.x x86 on the quad Pentium Pro).
+//
+// The host runs a multi-CPU time-slicing scheduler; user processes consume
+// CPU through it and compete with each other. This is where the paper's
+// host-based DWCS lives — and where web-server load starves it (Figures 6-8).
+// CPUs can be "brought off-line" (the paper runs the host experiments with 2
+// CPUs and the NI experiments with 1) simply by constructing the machine with
+// fewer CPUs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hw/calibration.hpp"
+#include "hw/cpu.hpp"
+#include "sim/coro.hpp"
+#include "sim/cpusched.hpp"
+#include "sim/engine.hpp"
+
+namespace nistream::hostos {
+
+/// Default time-sharing priority for user processes. Lower = more urgent;
+/// the model uses fixed priorities (no TS priority aging — the experiments
+/// only need relative CPU competition, which fixed priorities plus
+/// round-robin quanta provide).
+inline constexpr int kDefaultPriority = 100;
+
+class HostMachine;
+
+/// A user process (or bound LWP). The paper binds the DWCS scheduler process
+/// to a CPU with Solaris `pbind`; pass `affinity` >= 0 for that.
+class Process {
+ public:
+  [[nodiscard]] const std::string& name() const { return thread_->name(); }
+  [[nodiscard]] sim::Time cpu_time() const { return thread_->cpu_time(); }
+
+  /// co_await proc.consume(t): compute for `t` of CPU time (may stretch
+  /// arbitrarily under contention — that stretching IS Figure 7/8).
+  [[nodiscard]] sim::CpuScheduler::RunAwaiter consume(sim::Time t);
+  /// co_await proc.consume_cycles(n): host-CPU cycles.
+  [[nodiscard]] sim::CpuScheduler::RunAwaiter consume_cycles(std::int64_t n);
+
+  /// Underlying scheduler context (for services like the filesystem that
+  /// charge their per-call CPU overhead to the calling process).
+  [[nodiscard]] sim::CpuScheduler::Thread& thread() { return *thread_; }
+
+ private:
+  friend class HostMachine;
+  Process(HostMachine& host, sim::CpuScheduler::Thread& thread)
+      : host_{&host}, thread_{&thread} {}
+  HostMachine* host_;
+  sim::CpuScheduler::Thread* thread_;
+};
+
+class HostMachine {
+ public:
+  HostMachine(sim::Engine& engine, int online_cpus,
+              const hw::Calibration& cal = {},
+              sim::Time meter_sample = sim::Time::sec(1))
+      : engine_{engine},
+        cpu_model_{cal.host_cpu},
+        sched_{engine,
+               sim::CpuScheduler::Params{.num_cpus = online_cpus,
+                                         .quantum = cal.host_os.quantum,
+                                         .context_switch = cal.host_os.context_switch,
+                                         .meter_sample = meter_sample}} {}
+
+  HostMachine(const HostMachine&) = delete;
+  HostMachine& operator=(const HostMachine&) = delete;
+
+  Process& spawn(std::string name, int priority = kDefaultPriority,
+                 int affinity = -1) {
+    procs_.push_back(std::unique_ptr<Process>(new Process{
+        *this, sched_.create_thread(std::move(name), priority, affinity)}));
+    return *procs_.back();
+  }
+
+  [[nodiscard]] sim::Engine& engine() { return engine_; }
+  [[nodiscard]] hw::CpuModel& cpu_model() { return cpu_model_; }
+  [[nodiscard]] sim::CpuScheduler& scheduler() { return sched_; }
+  [[nodiscard]] int online_cpus() const { return sched_.num_cpus(); }
+
+  /// The Figure 6 "perfmeter": whole-machine utilization in percent.
+  [[nodiscard]] sim::TimeSeries perfmeter(sim::Time end) const {
+    return sched_.utilization_series(end);
+  }
+
+ private:
+  friend class Process;
+  sim::Engine& engine_;
+  hw::CpuModel cpu_model_;  // clock-rate reference for cycle conversion
+  sim::CpuScheduler sched_;
+  std::vector<std::unique_ptr<Process>> procs_;
+};
+
+inline sim::CpuScheduler::RunAwaiter Process::consume(sim::Time t) {
+  return host_->sched_.run(*thread_, t);
+}
+
+inline sim::CpuScheduler::RunAwaiter Process::consume_cycles(std::int64_t n) {
+  return consume(host_->cpu_model_.time_of(n));
+}
+
+}  // namespace nistream::hostos

@@ -1,0 +1,69 @@
+// Cycle-accounting CPU model.
+//
+// The microbenchmark experiments (Tables 1-3) run the *real* DWCS code on the
+// build machine, but charge every arithmetic operation and memory access to a
+// CpuModel according to the target processor's parameters (i960 RD at 66 MHz,
+// software FP vs native integer, d-cache on/off). Reported times are then
+// accumulated-cycles / clock — the same quantity the paper's on-card
+// timestamp counters measured.
+#pragma once
+
+#include <cstdint>
+
+#include "hw/cache.hpp"
+#include "hw/calibration.hpp"
+#include "sim/time.hpp"
+
+namespace nistream::hw {
+
+/// Operation categories the instrumented scheduler reports.
+enum class ArithOp { kAdd, kMul, kDiv, kCmp };
+
+class CpuModel {
+ public:
+  explicit CpuModel(const CpuParams& p = kI960Rd)
+      : params_{p}, dcache_{p.dcache} {}
+
+  [[nodiscard]] double hz() const { return params_.hz; }
+  [[nodiscard]] CacheModel& dcache() { return dcache_; }
+  [[nodiscard]] const CacheModel& dcache() const { return dcache_; }
+
+  /// Raw cycle charge (control flow, loop overhead, task switches...).
+  void charge(std::int64_t cycles) { cycles_ += cycles; }
+
+  /// Arithmetic charge under a given cost table (native int / soft FP / FPU).
+  void charge_arith(const ArithCosts& costs, ArithOp op, std::int64_t n = 1) {
+    switch (op) {
+      case ArithOp::kAdd: cycles_ += costs.add * n; break;
+      case ArithOp::kMul: cycles_ += costs.mul * n; break;
+      case ArithOp::kDiv: cycles_ += costs.div * n; break;
+      case ArithOp::kCmp: cycles_ += costs.cmp * n; break;
+    }
+  }
+
+  /// Memory word access through the data cache at a simulated address.
+  void mem_access(std::uint64_t addr) { cycles_ += dcache_.access(addr); }
+
+  /// Memory-mapped on-chip register access ("hardware queue"): fixed cost,
+  /// never cached, never on the external bus.
+  void reg_access() { cycles_ += params_.mmio_reg_cycles; }
+
+  [[nodiscard]] std::int64_t cycles() const { return cycles_; }
+  [[nodiscard]] sim::Time elapsed() const {
+    return sim::Time::cycles(cycles_, params_.hz);
+  }
+
+  /// Cycles->time for an externally counted quantity.
+  [[nodiscard]] sim::Time time_of(std::int64_t cycles) const {
+    return sim::Time::cycles(cycles, params_.hz);
+  }
+
+  void reset() { cycles_ = 0; }
+
+ private:
+  CpuParams params_;
+  CacheModel dcache_;
+  std::int64_t cycles_ = 0;
+};
+
+}  // namespace nistream::hw

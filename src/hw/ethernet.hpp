@@ -1,0 +1,115 @@
+// 100 Mbps switched-Ethernet model.
+//
+// The testbed connects the scheduler card's Ethernet ports to remote MPEG
+// clients through a 100 Mbps switch. The model is store-and-forward: a frame
+// serializes onto its source port's uplink at line rate, crosses the switch
+// (fixed latency), serializes again on the destination downlink, and is then
+// delivered to the receiving device's callback. Each direction of each port
+// is a FIFO drained at line rate, so concurrent streams contend exactly as
+// they would on the wire. Endpoint protocol-stack costs are charged by the
+// net layer, not here.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "hw/calibration.hpp"
+#include "sim/engine.hpp"
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace nistream::hw {
+
+/// A link-level frame. `payload` is an opaque, shared, endpoint-typed body;
+/// the wire only cares about `bytes`.
+struct EthFrame {
+  std::uint32_t bytes = 0;           // payload size on the wire
+  std::uint64_t tag = 0;             // endpoint cookie (e.g. stream id)
+  std::shared_ptr<void> payload;     // endpoint-typed content
+  int src_port = -1;
+  sim::Time injected_at;             // when handed to the source port
+};
+
+class EthernetSwitch {
+ public:
+  using Receiver = std::function<void(const EthFrame&)>;
+
+  EthernetSwitch(sim::Engine& engine, const EthernetParams& p = kFastEthernet)
+      : engine_{engine}, params_{p}, loss_rng_{p.loss_seed} {}
+
+  EthernetSwitch(const EthernetSwitch&) = delete;
+  EthernetSwitch& operator=(const EthernetSwitch&) = delete;
+
+  /// Attach a device; returns its port number. `rx` fires when a frame has
+  /// fully arrived at the device.
+  int add_port(Receiver rx) {
+    ports_.push_back(Port{std::move(rx), sim::Time::zero(), sim::Time::zero()});
+    return static_cast<int>(ports_.size()) - 1;
+  }
+
+  /// Send `frame` from `src` to `dst`. Delivery time accounts for uplink
+  /// serialization, switch latency, downlink serialization and any queueing
+  /// on both directions.
+  void send(int src, int dst, EthFrame frame) {
+    assert(valid(src) && valid(dst));
+    frame.src_port = src;
+    frame.injected_at = engine_.now();
+    const sim::Time wire = wire_time(frame.bytes);
+
+    Port& sp = ports_[static_cast<std::size_t>(src)];
+    const sim::Time up_start = std::max(engine_.now(), sp.uplink_busy_until);
+    const sim::Time at_switch = up_start + wire;
+    sp.uplink_busy_until = at_switch;
+
+    // Loss model: the frame occupied the uplink, but is discarded at the
+    // switch (CRC error / buffer overrun) and never reaches the downlink.
+    if (params_.loss_rate > 0 && loss_rng_.chance(params_.loss_rate)) {
+      ++frames_lost_;
+      return;
+    }
+
+    Port& dp = ports_[static_cast<std::size_t>(dst)];
+    const sim::Time down_start =
+        std::max(at_switch + params_.switch_latency, dp.downlink_busy_until);
+    const sim::Time delivered = down_start + wire;
+    dp.downlink_busy_until = delivered;
+
+    bytes_switched_ += frame.bytes;
+    engine_.schedule_at(delivered, [this, dst, f = std::move(frame)] {
+      ports_[static_cast<std::size_t>(dst)].rx(f);
+    });
+  }
+
+  /// Serialization time of one frame at line rate (includes L2 overhead).
+  [[nodiscard]] sim::Time wire_time(std::uint32_t bytes) const {
+    const double bits = static_cast<double>(bytes + params_.overhead_bytes) * 8.0;
+    return sim::Time::sec(bits / params_.bits_per_sec);
+  }
+
+  [[nodiscard]] std::uint64_t bytes_switched() const { return bytes_switched_; }
+  [[nodiscard]] std::uint64_t frames_lost() const { return frames_lost_; }
+  [[nodiscard]] const EthernetParams& params() const { return params_; }
+  [[nodiscard]] sim::Engine& engine() { return engine_; }
+
+ private:
+  struct Port {
+    Receiver rx;
+    sim::Time uplink_busy_until;
+    sim::Time downlink_busy_until;
+  };
+  [[nodiscard]] bool valid(int p) const {
+    return p >= 0 && static_cast<std::size_t>(p) < ports_.size();
+  }
+
+  sim::Engine& engine_;
+  EthernetParams params_;
+  sim::Rng loss_rng_;
+  std::vector<Port> ports_;
+  std::uint64_t bytes_switched_ = 0;
+  std::uint64_t frames_lost_ = 0;
+};
+
+}  // namespace nistream::hw

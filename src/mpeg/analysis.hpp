@@ -1,0 +1,127 @@
+// MPEG stream analysis: GOP validation, bitrate profiling, and a VBV-style
+// smoothing-buffer simulation.
+//
+// The serving side of a media server needs to know what it is serving: the
+// per-type size mix decides descriptor memory budgets, the windowed bitrate
+// decides the stream's admission parameters, and the smoothing-buffer
+// simulation answers "what client buffer does this clip need at a given
+// drain rate" — the client-side buffering knob the paper's introduction
+// lists among end-to-end techniques.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "mpeg/frame.hpp"
+
+namespace nistream::mpeg {
+
+struct TypeStats {
+  std::uint64_t count = 0;
+  std::uint64_t total_bytes = 0;
+  std::uint32_t min_bytes = 0;
+  std::uint32_t max_bytes = 0;
+
+  [[nodiscard]] double mean_bytes() const {
+    return count ? static_cast<double>(total_bytes) / static_cast<double>(count)
+                 : 0.0;
+  }
+};
+
+struct StreamAnalysis {
+  std::array<TypeStats, 3> by_type{};  // indexed by FrameType-1 (I, P, B)
+  std::uint64_t frames = 0;
+  std::uint64_t total_bytes = 0;
+  double mean_bitrate_bps = 0;
+  double peak_window_bitrate_bps = 0;  // worst 1-second window
+  bool gop_structure_valid = false;    // every GOP starts with an I frame
+  int detected_gop_length = 0;         // distance between I frames (0 = n/a)
+
+  [[nodiscard]] const TypeStats& of(FrameType t) const {
+    return by_type[static_cast<std::size_t>(t) - 1];
+  }
+};
+
+/// Analyze a frame table at its nominal frame rate.
+[[nodiscard]] inline StreamAnalysis analyze(const std::vector<FrameInfo>& frames,
+                                            double fps) {
+  StreamAnalysis a;
+  a.frames = frames.size();
+  int last_i = -1, gop_len = 0;
+  bool first_is_i = !frames.empty() && frames[0].type == FrameType::kI;
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    const auto& f = frames[i];
+    TypeStats& ts = a.by_type[static_cast<std::size_t>(f.type) - 1];
+    if (ts.count == 0) {
+      ts.min_bytes = f.bytes;
+      ts.max_bytes = f.bytes;
+    }
+    ts.min_bytes = std::min(ts.min_bytes, f.bytes);
+    ts.max_bytes = std::max(ts.max_bytes, f.bytes);
+    ++ts.count;
+    ts.total_bytes += f.bytes;
+    a.total_bytes += f.bytes;
+    if (f.type == FrameType::kI) {
+      if (last_i >= 0) {
+        const int len = static_cast<int>(i) - last_i;
+        if (gop_len == 0) gop_len = len;
+        if (len != gop_len) gop_len = -1;  // irregular
+      }
+      last_i = static_cast<int>(i);
+    }
+  }
+  a.detected_gop_length = gop_len > 0 ? gop_len : 0;
+  a.gop_structure_valid = first_is_i && gop_len > 0;
+  if (!frames.empty()) {
+    a.mean_bitrate_bps =
+        static_cast<double>(a.total_bytes) * 8.0 * fps /
+        static_cast<double>(frames.size());
+    // Peak 1-second window at the nominal rate.
+    const auto win = static_cast<std::size_t>(fps);
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < frames.size(); ++i) {
+      sum += frames[i].bytes;
+      if (i >= win) sum -= frames[i - win].bytes;
+      if (i + 1 >= win) {
+        a.peak_window_bitrate_bps =
+            std::max(a.peak_window_bitrate_bps, static_cast<double>(sum) * 8.0);
+      }
+    }
+    if (frames.size() < win) {
+      a.peak_window_bitrate_bps = static_cast<double>(sum) * 8.0;
+    }
+  }
+  return a;
+}
+
+/// Smoothing-buffer (VBV-style) simulation: frames arrive at the nominal
+/// frame rate; the buffer drains at `drain_bps`. Returns the peak buffer
+/// occupancy in bytes (the client buffer the clip needs at that rate) and
+/// whether the buffer ever ran dry after the priming frame.
+struct BufferSimResult {
+  std::uint64_t peak_occupancy_bytes = 0;
+  bool underrun = false;
+};
+
+[[nodiscard]] inline BufferSimResult simulate_smoothing_buffer(
+    const std::vector<FrameInfo>& frames, double fps, double drain_bps) {
+  BufferSimResult r;
+  double occupancy = 0;
+  const double drained_per_frame = drain_bps / 8.0 / fps;
+  for (const auto& f : frames) {
+    occupancy += f.bytes;
+    r.peak_occupancy_bytes = std::max(
+        r.peak_occupancy_bytes, static_cast<std::uint64_t>(occupancy));
+    occupancy -= drained_per_frame;
+    if (occupancy < 0) {
+      // Drained everything available before the next frame arrived.
+      if (&f != &frames.back()) r.underrun = true;
+      occupancy = 0;
+    }
+  }
+  return r;
+}
+
+}  // namespace nistream::mpeg

@@ -1,0 +1,82 @@
+// MPEG-1 frame-level types.
+//
+// The unit of streaming and of scheduling in the paper is an MPEG-I frame
+// (§3.1). The scheduler never looks at pixels — it needs the frame type,
+// size, and timing — so the substrate models exactly that, plus a real
+// start-code-delimited elementary-stream encoding so the segmentation step
+// (the paper's "MPEG segmentation program") parses genuine bitstreams.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace nistream::mpeg {
+
+enum class FrameType : std::uint8_t { kI = 1, kP = 2, kB = 3 };
+
+[[nodiscard]] inline const char* to_string(FrameType t) {
+  switch (t) {
+    case FrameType::kI: return "I";
+    case FrameType::kP: return "P";
+    case FrameType::kB: return "B";
+  }
+  return "?";
+}
+
+inline std::ostream& operator<<(std::ostream& os, FrameType t) {
+  return os << to_string(t);
+}
+
+/// Metadata of one coded picture.
+struct FrameInfo {
+  FrameType type = FrameType::kI;
+  std::uint32_t bytes = 0;       // coded size, including picture header
+  std::uint32_t display_index = 0;
+  double pts_seconds = 0.0;      // presentation time at the nominal fps
+};
+
+/// A Group-of-Pictures structure: `n` = GOP length (I-frame distance),
+/// `m` = prediction distance (P-frame spacing). The classic broadcast GOP is
+/// N=12, M=3: IBBPBBPBBPBB.
+struct GopPattern {
+  int n = 12;
+  int m = 3;
+
+  [[nodiscard]] FrameType type_of(int index_in_gop) const {
+    if (index_in_gop == 0) return FrameType::kI;
+    return (index_in_gop % m == 0) ? FrameType::kP : FrameType::kB;
+  }
+
+  /// "IBBPBBPBBPBB"-style rendering, for logs and tests.
+  [[nodiscard]] std::string to_string() const {
+    std::string s;
+    for (int i = 0; i < n; ++i) s += mpeg::to_string(type_of(i));
+    return s;
+  }
+};
+
+/// A whole synthetic MPEG file: frame table + the coded bitstream.
+struct MpegFile {
+  std::vector<FrameInfo> frames;
+  std::vector<std::uint8_t> bitstream;
+  double fps = 30.0;
+
+  [[nodiscard]] std::uint64_t total_frame_bytes() const {
+    std::uint64_t sum = 0;
+    for (const auto& f : frames) sum += f.bytes;
+    return sum;
+  }
+  [[nodiscard]] double mean_frame_bytes() const {
+    return frames.empty() ? 0.0
+                          : static_cast<double>(total_frame_bytes()) /
+                                static_cast<double>(frames.size());
+  }
+  /// Average coded bit rate at the nominal frame rate.
+  [[nodiscard]] double bitrate_bps() const {
+    return mean_frame_bytes() * 8.0 * fps;
+  }
+};
+
+}  // namespace nistream::mpeg

@@ -1,0 +1,57 @@
+#include "mpeg/segmenter.hpp"
+
+#include "mpeg/encoder.hpp"
+
+namespace nistream::mpeg {
+
+std::optional<std::uint64_t> Segmenter::find_start_code(
+    std::span<const std::uint8_t> data, std::uint64_t pos) {
+  if (data.size() < 4) return std::nullopt;
+  for (std::uint64_t i = pos; i + 3 < data.size(); ++i) {
+    if (data[i] == 0x00 && data[i + 1] == 0x00 && data[i + 2] == 0x01) {
+      return i;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<Segment> Segmenter::segment(std::span<const std::uint8_t> bs) {
+  std::vector<Segment> out;
+  std::optional<std::uint64_t> cur = find_start_code(bs, 0);
+  std::optional<Segment> open;  // picture currently being delimited
+
+  const auto close_at = [&](std::uint64_t end) {
+    if (open) {
+      open->bytes = static_cast<std::uint32_t>(end - open->offset);
+      out.push_back(*open);
+      open.reset();
+    }
+  };
+
+  while (cur) {
+    const std::uint64_t at = *cur;
+    const std::uint8_t code = bs[at + 3];
+    close_at(at);  // any start unit terminates the previous picture
+
+    if (code == kPictureStartCode) {
+      // Need the two header bytes holding temporal_reference and type.
+      if (at + 5 >= bs.size()) break;
+      const std::uint32_t b0 = bs[at + 4];
+      const std::uint32_t b1 = bs[at + 5];
+      const std::uint32_t temporal_ref = (b0 << 2) | (b1 >> 6);
+      const std::uint32_t type_bits = (b1 >> 3) & 0x7;
+      if (type_bits < 1 || type_bits > 3) break;  // corrupt picture header
+      open = Segment{.type = static_cast<FrameType>(type_bits),
+                     .offset = at,
+                     .bytes = 0,
+                     .temporal_ref = temporal_ref};
+    } else if (code == kSequenceEndCode) {
+      break;
+    }
+    cur = find_start_code(bs, at + 4);
+  }
+  close_at(bs.size());
+  return out;
+}
+
+}  // namespace nistream::mpeg

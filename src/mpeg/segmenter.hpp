@@ -1,0 +1,41 @@
+// MPEG-1 elementary-stream segmenter.
+//
+// Reproduces the paper's "MPEG segmentation program developed in [33, 32]"
+// that "segments an MPEG encoded file into I, P and B frames and serves as a
+// stream producer" (§4.1): scan for start codes, delimit each coded picture,
+// and decode its picture_coding_type. The producer tasks feed the resulting
+// segments — one frame per scheduling unit — into the DWCS queues.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "mpeg/frame.hpp"
+
+namespace nistream::mpeg {
+
+/// One segmented frame: a [offset, offset+bytes) slice of the bitstream.
+struct Segment {
+  FrameType type = FrameType::kI;
+  std::uint64_t offset = 0;   // byte offset of the picture start code
+  std::uint32_t bytes = 0;    // picture size up to the next start unit
+  std::uint32_t temporal_ref = 0;
+};
+
+class Segmenter {
+ public:
+  /// Segment a whole elementary stream. Non-picture units (sequence/GOP
+  /// headers) delimit pictures but produce no segments. Malformed streams
+  /// yield the segments found up to the corruption point.
+  [[nodiscard]] static std::vector<Segment> segment(
+      std::span<const std::uint8_t> bitstream);
+
+  /// Locate the next start code at or after `pos`; returns the offset of the
+  /// 00 00 01 prefix, or nullopt.
+  [[nodiscard]] static std::optional<std::uint64_t> find_start_code(
+      std::span<const std::uint8_t> data, std::uint64_t pos);
+};
+
+}  // namespace nistream::mpeg

@@ -1,0 +1,186 @@
+// TcpLite: board-resident reliable transport.
+//
+// The paper (§1): "host-to-host communications are supported by I2O
+// board-resident protocols (like TCP and UDP)". UDP is udp.hpp; this is the
+// reliable sibling — a compact go-back-N transport with cumulative ACKs and
+// a retransmission timer, enough to move control traffic and loss-intolerant
+// streams over a lossy segment (see hw::EthernetParams::loss_rate) with
+// exactly-once, in-order delivery.
+//
+// Scope deliberately matches what an embedded NI stack of the era shipped:
+// fixed window, cumulative ACK per received segment, go-back-N retransmit on
+// timeout. No congestion control, no SACK, no connection teardown handshake.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+
+#include "hw/ethernet.hpp"
+#include "net/udp.hpp"
+#include "sim/engine.hpp"
+
+namespace nistream::net {
+
+/// Wire format shared by both ends.
+struct TcpLiteSegment {
+  bool is_ack = false;
+  std::uint64_t seq = 0;      // data: segment sequence; ack: next expected
+  Packet payload{};           // data segments only
+};
+
+class TcpLiteReceiver {
+ public:
+  using Deliver = std::function<void(const Packet&, sim::Time at)>;
+
+  TcpLiteReceiver(sim::Engine& engine, hw::EthernetSwitch& ether,
+                  sim::Time stack_cost, Deliver deliver)
+      : engine_{engine}, ether_{ether}, stack_cost_{stack_cost},
+        deliver_{std::move(deliver)} {
+    port_ = ether.add_port([this](const hw::EthFrame& f) { on_frame(f); });
+  }
+
+  TcpLiteReceiver(const TcpLiteReceiver&) = delete;
+  TcpLiteReceiver& operator=(const TcpLiteReceiver&) = delete;
+
+  [[nodiscard]] int port() const { return port_; }
+  [[nodiscard]] std::uint64_t delivered() const { return next_expected_; }
+  [[nodiscard]] std::uint64_t discarded_out_of_order() const {
+    return discarded_;
+  }
+
+ private:
+  static constexpr std::uint32_t kAckBytes = 40;
+
+  void on_frame(const hw::EthFrame& f) {
+    auto seg = std::static_pointer_cast<TcpLiteSegment>(f.payload);
+    if (!seg || seg->is_ack) return;
+    const int reply_to = f.src_port;
+    engine_.schedule_in(stack_cost_, [this, seg, reply_to] {
+      if (seg->seq == next_expected_) {
+        ++next_expected_;
+        if (deliver_) deliver_(seg->payload, engine_.now());
+      } else if (seg->seq > next_expected_) {
+        ++discarded_;  // go-back-N: out-of-order segments are not buffered
+      }                // duplicates below next_expected_ are silently re-ACKed
+      auto ack = std::make_shared<TcpLiteSegment>();
+      ack->is_ack = true;
+      ack->seq = next_expected_;
+      ether_.send(port_, reply_to,
+                  hw::EthFrame{.bytes = kAckBytes, .payload = std::move(ack)});
+    });
+  }
+
+  sim::Engine& engine_;
+  hw::EthernetSwitch& ether_;
+  sim::Time stack_cost_;
+  Deliver deliver_;
+  int port_ = -1;
+  std::uint64_t next_expected_ = 0;
+  std::uint64_t discarded_ = 0;
+};
+
+class TcpLiteSender {
+ public:
+  struct Params {
+    std::size_t window = 8;               // segments in flight
+    sim::Time rto = sim::Time::ms(20);    // retransmission timeout
+  };
+
+  TcpLiteSender(sim::Engine& engine, hw::EthernetSwitch& ether,
+                sim::Time stack_cost, int dst_port,
+                Params params = Params{.window = 8, .rto = sim::Time::ms(20)})
+      : engine_{engine}, ether_{ether}, stack_cost_{stack_cost},
+        dst_port_{dst_port}, params_{params} {
+    port_ = ether.add_port([this](const hw::EthFrame& f) { on_frame(f); });
+  }
+
+  TcpLiteSender(const TcpLiteSender&) = delete;
+  TcpLiteSender& operator=(const TcpLiteSender&) = delete;
+
+  [[nodiscard]] int port() const { return port_; }
+
+  /// Queue a packet for reliable delivery. Returns its assigned sequence.
+  std::uint64_t send(Packet p) {
+    const std::uint64_t seq = next_seq_++;
+    queue_.push_back(Entry{seq, std::move(p)});
+    pump();
+    return seq;
+  }
+
+  [[nodiscard]] std::uint64_t acked() const { return base_; }
+  [[nodiscard]] std::uint64_t retransmissions() const { return retransmissions_; }
+  [[nodiscard]] bool idle() const { return queue_.empty(); }
+
+ private:
+  struct Entry {
+    std::uint64_t seq;
+    Packet packet;
+  };
+
+  void pump() {
+    // Transmit every queued segment inside the window.
+    for (auto& e : queue_) {
+      if (e.seq >= base_ + params_.window) break;
+      if (e.seq < inflight_hi_) continue;  // already on the wire
+      transmit(e);
+      inflight_hi_ = e.seq + 1;
+    }
+    arm_timer();
+  }
+
+  void transmit(const Entry& e) {
+    auto seg = std::make_shared<TcpLiteSegment>();
+    seg->seq = e.seq;
+    seg->payload = e.packet;
+    engine_.schedule_in(stack_cost_, [this, seg] {
+      ether_.send(port_, dst_port_,
+                  hw::EthFrame{.bytes = seg->payload.bytes +
+                                        UdpEndpoint::kUdpIpHeaderBytes + 12,
+                               .tag = seg->seq, .payload = seg});
+    });
+  }
+
+  void on_frame(const hw::EthFrame& f) {
+    auto seg = std::static_pointer_cast<TcpLiteSegment>(f.payload);
+    if (!seg || !seg->is_ack) return;
+    engine_.schedule_in(stack_cost_, [this, ack = seg->seq] {
+      if (ack <= base_) return;  // stale
+      while (!queue_.empty() && queue_.front().seq < ack) queue_.pop_front();
+      base_ = ack;
+      timer_.cancel();
+      pump();
+    });
+  }
+
+  void arm_timer() {
+    if (queue_.empty() || timer_.pending()) return;
+    timer_ = engine_.schedule_in(params_.rto, [this] { on_timeout(); });
+  }
+
+  void on_timeout() {
+    // Go-back-N: retransmit the whole window from base_.
+    for (auto& e : queue_) {
+      if (e.seq >= base_ + params_.window) break;
+      transmit(e);
+      ++retransmissions_;
+    }
+    arm_timer();
+  }
+
+  sim::Engine& engine_;
+  hw::EthernetSwitch& ether_;
+  sim::Time stack_cost_;
+  int dst_port_;
+  Params params_;
+  int port_ = -1;
+  std::deque<Entry> queue_;        // unacked + unsent, seq-ordered
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t base_ = 0;         // lowest unacked seq
+  std::uint64_t inflight_hi_ = 0;  // first never-transmitted seq
+  std::uint64_t retransmissions_ = 0;
+  sim::EventHandle timer_;
+};
+
+}  // namespace nistream::net

@@ -1,0 +1,102 @@
+// Lightweight UDP-style endpoint layer over the Ethernet model.
+//
+// The I2O boards run board-resident UDP/TCP; clients attach over switched
+// 100 Mbps Ethernet. This layer adds what the hw::EthernetSwitch does not
+// model: per-endpoint protocol-stack traversal latency (the dominant term of
+// the paper's "1.2net" — ~555 us per end on the i960 cards with the data
+// cache disabled, much less on host NICs with a tuned host stack).
+//
+// CPU accounting: the stack latency here is pure pipeline latency. When the
+// sender's CPU time matters (the scheduler dispatch loops in the Figure 7-10
+// experiments), the sending task additionally consumes CPU through its own
+// scheduler — see apps::MediaServer.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "dwcs/types.hpp"
+#include "hw/ethernet.hpp"
+#include "mpeg/frame.hpp"
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+
+namespace nistream::net {
+
+/// Application payload carried across the wire.
+struct Packet {
+  std::uint64_t stream_id = 0;
+  std::uint64_t seq = 0;
+  std::uint32_t bytes = 0;
+  mpeg::FrameType frame_type = mpeg::FrameType::kI;
+  sim::Time enqueued_at;     // entry into scheduler queues (queuing delay t0)
+  sim::Time dispatched_at;   // when the scheduler released it
+  /// Optional endpoint-typed content riding with the packet (the
+  /// simulation's zero-copy stand-in for the `bytes` of body data).
+  std::shared_ptr<void> body;
+};
+
+class UdpEndpoint {
+ public:
+  using Receiver = std::function<void(const Packet&, sim::Time delivered)>;
+
+  /// `stack_cost` is charged once on send and once on receive.
+  UdpEndpoint(sim::Engine& engine, hw::EthernetSwitch& ether,
+              sim::Time stack_cost, Receiver rx)
+      : engine_{engine}, ether_{ether}, stack_cost_{stack_cost},
+        rx_{std::move(rx)} {
+    port_ = ether.add_port([this](const hw::EthFrame& f) { on_frame(f); });
+  }
+
+  UdpEndpoint(const UdpEndpoint&) = delete;
+  UdpEndpoint& operator=(const UdpEndpoint&) = delete;
+
+  [[nodiscard]] int port() const { return port_; }
+
+  static constexpr std::uint32_t kUdpIpHeaderBytes = 28;
+
+  /// Send `pkt` to the endpoint at `dst_port`. The packet traverses this
+  /// end's stack, the switch, and the receiver's stack before delivery.
+  void send(int dst_port, Packet pkt) {
+    ++sent_;
+    bytes_sent_ += pkt.bytes;
+    engine_.schedule_in(stack_cost_, [this, dst_port, pkt] {
+      ether_.send(port_, dst_port,
+                  hw::EthFrame{.bytes = pkt.bytes + kUdpIpHeaderBytes,
+                               .tag = pkt.stream_id,
+                               .payload = std::make_shared<Packet>(pkt)});
+    });
+  }
+
+  [[nodiscard]] std::uint64_t packets_sent() const { return sent_; }
+  [[nodiscard]] std::uint64_t packets_received() const { return received_; }
+  [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
+  [[nodiscard]] sim::Time stack_cost() const { return stack_cost_; }
+
+ private:
+  void on_frame(const hw::EthFrame& f) {
+    auto pkt = std::static_pointer_cast<Packet>(f.payload);
+    if (!pkt) return;  // not one of ours
+    engine_.schedule_in(stack_cost_, [this, pkt] {
+      ++received_;
+      if (rx_) rx_(*pkt, engine_.now());
+    });
+  }
+
+  sim::Engine& engine_;
+  hw::EthernetSwitch& ether_;
+  sim::Time stack_cost_;
+  Receiver rx_;
+  int port_ = -1;
+  std::uint64_t sent_ = 0;
+  std::uint64_t received_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+};
+
+/// Stack-cost presets (see calibration rationale in hw/calibration.hpp).
+inline constexpr sim::Time kNiStackCost = sim::Time::us(555);
+inline constexpr sim::Time kHostStackCost = sim::Time::us(180);
+
+}  // namespace nistream::net

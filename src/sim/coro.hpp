@@ -1,0 +1,217 @@
+// Coroutine-based process layer over the event engine.
+//
+// Simulated software — VxWorks tasks on the NI (src/rtos), Solaris processes
+// on the host (src/hostos), stream producers and clients (src/apps) — is
+// written as C++20 coroutines returning sim::Coro. A process co_awaits
+// primitives (delay, semaphore, condition) that park it in the Engine's event
+// queue; the engine resumes it at the right simulated instant. This keeps
+// multi-step protocol logic linear instead of exploding into callback state
+// machines.
+//
+// Lifetime rules (deliberately simple, matching how the experiments run):
+//  * Coroutines start eagerly at the call site ("spawn" semantics).
+//  * Frames always self-destroy at completion (inside the final awaiter,
+//    before the continuation is transferred to). The Coro object holds only
+//    shared completion state, never the frame — so no code path can touch a
+//    frame after its final suspend. (An earlier design let the owner destroy
+//    a finished frame from the Coro destructor; destroying a frame while its
+//    final-suspend actor code is still unwinding miscompiles on GCC 12 and
+//    corrupted the heap — caught by ASan via the DVCM tests.)
+//  * A coroutine suspended on a primitive must not be abandoned before the
+//    primitive fires; experiments run their engines to completion, so this
+//    holds by construction.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+
+namespace nistream::sim {
+
+/// Simulation process handle. Returned by any coroutine process function.
+class [[nodiscard]] Coro {
+ public:
+  /// Completion state shared between the coroutine frame and Coro handles;
+  /// outlives the frame.
+  struct State {
+    bool finished = false;
+    std::coroutine_handle<> continuation{};
+  };
+
+  struct promise_type;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  struct FinalAwaiter {
+    bool await_ready() const noexcept { return false; }
+    std::coroutine_handle<> await_suspend(Handle h) noexcept {
+      // Grab everything needed out of the frame, then destroy it. The frame
+      // is gone before anyone else runs; the continuation resumes via
+      // symmetric transfer.
+      const std::shared_ptr<State> state = h.promise().state;
+      h.destroy();
+      state->finished = true;
+      return state->continuation ? state->continuation
+                                 : std::noop_coroutine();
+    }
+    void await_resume() const noexcept {}
+  };
+
+  struct promise_type {
+    std::shared_ptr<State> state = std::make_shared<State>();
+
+    Coro get_return_object() { return Coro{state}; }
+    std::suspend_never initial_suspend() noexcept { return {}; }  // eager start
+    FinalAwaiter final_suspend() noexcept { return {}; }
+    void return_void() {}
+    [[noreturn]] void unhandled_exception() { std::terminate(); }
+  };
+
+  Coro() = default;
+  Coro(Coro&&) noexcept = default;
+  Coro& operator=(Coro&&) noexcept = default;
+  Coro(const Coro&) = delete;
+  Coro& operator=(const Coro&) = delete;
+  ~Coro() = default;
+
+  [[nodiscard]] bool done() const { return !state_ || state_->finished; }
+
+  /// Let the process run unowned. Frames free themselves on completion, so
+  /// this only drops the handle.
+  void detach() { state_.reset(); }
+
+  /// Awaiting a Coro suspends the awaiter until the child completes (join).
+  bool await_ready() const noexcept { return done(); }
+  void await_suspend(std::coroutine_handle<> parent) noexcept {
+    assert(state_ && !state_->continuation && "Coro joined twice");
+    state_->continuation = parent;
+  }
+  void await_resume() const noexcept {}
+
+ private:
+  explicit Coro(std::shared_ptr<State> state) : state_{std::move(state)} {}
+  std::shared_ptr<State> state_;
+};
+
+/// co_await Delay{engine, d}: resume after `d` of simulated time.
+struct Delay {
+  Engine& engine;
+  Time duration;
+
+  bool await_ready() const noexcept { return duration <= Time::zero(); }
+  void await_suspend(std::coroutine_handle<> h) const {
+    engine.schedule_in(duration, [h] { h.resume(); });
+  }
+  void await_resume() const noexcept {}
+};
+
+/// Broadcast condition: all current waiters are resumed on signal().
+/// Waiters resume through the event queue at the signalling instant, so
+/// wake-up order is deterministic (FIFO by wait order).
+class Condition {
+ public:
+  explicit Condition(Engine& engine) : engine_{engine} {}
+
+  struct Awaiter {
+    Condition& cond;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) { cond.waiters_.push_back(h); }
+    void await_resume() const noexcept {}
+  };
+  Awaiter wait() { return Awaiter{*this}; }
+
+  /// Wake every coroutine currently waiting.
+  void signal() {
+    std::vector<std::coroutine_handle<>> woken;
+    woken.swap(waiters_);
+    for (auto h : woken) engine_.schedule_in(Time::zero(), [h] { h.resume(); });
+  }
+
+  [[nodiscard]] std::size_t waiter_count() const { return waiters_.size(); }
+
+ private:
+  Engine& engine_;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/// Counting semaphore with FIFO wake-up.
+class Semaphore {
+ public:
+  Semaphore(Engine& engine, std::int64_t initial)
+      : engine_{engine}, count_{initial} {}
+
+  struct Awaiter {
+    Semaphore& sem;
+    bool await_ready() const noexcept {
+      if (sem.count_ > 0) {
+        --sem.count_;
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) { sem.waiters_.push_back(h); }
+    void await_resume() const noexcept {}
+  };
+  Awaiter acquire() { return Awaiter{*this}; }
+
+  void release(std::int64_t n = 1) {
+    while (n > 0 && !waiters_.empty()) {
+      auto h = waiters_.front();
+      waiters_.pop_front();
+      engine_.schedule_in(Time::zero(), [h] { h.resume(); });
+      --n;
+    }
+    count_ += n;
+  }
+
+  [[nodiscard]] std::int64_t available() const { return count_; }
+  [[nodiscard]] std::size_t waiter_count() const { return waiters_.size(); }
+
+ private:
+  Engine& engine_;
+  std::int64_t count_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/// Unbounded typed channel; receivers block while empty.
+template <typename T>
+class Mailbox {
+ public:
+  explicit Mailbox(Engine& engine) : sem_{engine, 0} {}
+
+  void send(T v) {
+    items_.push_back(std::move(v));
+    sem_.release();
+  }
+
+  /// co_await mailbox.receive() -> T
+  struct Receiver {
+    Mailbox& box;
+    Semaphore::Awaiter inner;
+    bool await_ready() noexcept { return inner.await_ready(); }
+    void await_suspend(std::coroutine_handle<> h) { inner.await_suspend(h); }
+    T await_resume() {
+      assert(!box.items_.empty());
+      T v = std::move(box.items_.front());
+      box.items_.pop_front();
+      return v;
+    }
+  };
+  Receiver receive() { return Receiver{*this, sem_.acquire()}; }
+
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+  [[nodiscard]] bool empty() const { return items_.empty(); }
+
+ private:
+  Semaphore sem_;
+  std::deque<T> items_;
+};
+
+}  // namespace nistream::sim

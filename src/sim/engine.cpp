@@ -1,0 +1,56 @@
+#include "sim/engine.hpp"
+
+#include <iomanip>
+#include <stdexcept>
+
+namespace nistream::sim {
+
+std::ostream& operator<<(std::ostream& os, Time t) {
+  // Pick a human-friendly unit: experiments report in us and ms.
+  const double us = t.to_us();
+  if (us < 1e3) return os << us << "us";
+  if (us < 1e6) return os << us / 1e3 << "ms";
+  return os << us / 1e6 << "s";
+}
+
+EventHandle Engine::schedule_at(Time at, std::function<void()> fn) {
+  if (at < now_) throw std::logic_error("Engine::schedule_at: time in the past");
+  auto alive = std::make_shared<bool>(true);
+  queue_.push(Event{at, next_seq_++, std::move(fn), alive});
+  return EventHandle{std::move(alive)};
+}
+
+bool Engine::step() {
+  while (!queue_.empty()) {
+    // priority_queue::top is const; the event must be moved out via pop, so
+    // copy the cheap parts and move the callable through a const_cast-free
+    // extraction: take a copy of the shared flag, then pop.
+    Event ev = queue_.top();
+    queue_.pop();
+    if (!*ev.alive) continue;  // cancelled
+    *ev.alive = false;
+    now_ = ev.at;
+    ++executed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+Time Engine::run() {
+  while (step()) {}
+  return now_;
+}
+
+Time Engine::run_until(Time deadline) {
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (!*top.alive) { queue_.pop(); continue; }
+    if (top.at > deadline) break;
+    step();
+  }
+  if (now_ < deadline) now_ = deadline;
+  return now_;
+}
+
+}  // namespace nistream::sim

@@ -1,0 +1,95 @@
+#include "sim/stats.hpp"
+
+#include <cassert>
+
+namespace nistream::sim {
+
+double TimeSeries::mean_between(Time from, Time to) const {
+  double sum = 0.0;
+  std::uint64_t n = 0;
+  for (const auto& [t, v] : points_) {
+    if (t < from || t > to) continue;
+    sum += v;
+    ++n;
+  }
+  return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+double TimeSeries::value_at(Time t) const {
+  double last = 0.0;
+  for (const auto& [pt, v] : points_) {
+    if (pt > t) break;
+    last = v;
+  }
+  return last;
+}
+
+void TimeSeries::write_csv(std::ostream& os, const std::string& value_label) const {
+  os << "time_ms," << value_label << "\n";
+  for (const auto& [t, v] : points_) os << t.to_ms() << "," << v << "\n";
+}
+
+void RateMeter::record(Time t, std::uint64_t bytes) {
+  sample_up_to(t, /*inclusive=*/false);
+  events_.emplace_back(t, bytes);
+  total_ += bytes;
+}
+
+double RateMeter::current_bps(Time t) const {
+  // Sum bytes inside (t - window, t]; tail_ is advanced by sample_up_to.
+  std::uint64_t bytes = 0;
+  const Time lo = t - window_;
+  for (std::size_t i = tail_; i < events_.size(); ++i) {
+    if (events_[i].first > t) break;
+    if (events_[i].first > lo) bytes += events_[i].second;
+  }
+  const double span = std::min(window_.to_sec(), t.to_sec());
+  return span > 0.0 ? static_cast<double>(bytes) * 8.0 / span : 0.0;
+}
+
+void RateMeter::sample_up_to(Time t, bool inclusive) {
+  while (inclusive ? next_sample_ <= t : next_sample_ < t) {
+    // Drop events that have fallen out of the window for this sample point.
+    const Time lo = next_sample_ - window_;
+    while (tail_ < events_.size() && events_[tail_].first <= lo) ++tail_;
+    if (next_sample_ > Time::zero()) {
+      series_.add(next_sample_, current_bps(next_sample_));
+    }
+    next_sample_ += sample_every_;
+  }
+}
+
+void UtilizationMeter::add_busy(Time start, Time end) {
+  if (end <= start) return;
+  total_busy_ += end - start;
+  // Merge with the previous interval when contiguous: CPU schedulers emit
+  // many abutting slices and merging keeps the vector small.
+  if (!intervals_.empty() && intervals_.back().second == start) {
+    intervals_.back().second = end;
+  } else {
+    assert(intervals_.empty() || start >= intervals_.back().second);
+    intervals_.emplace_back(start, end);
+  }
+}
+
+TimeSeries UtilizationMeter::sample(Time end, double capacity) const {
+  TimeSeries out{"utilization"};
+  if (sample_every_ <= Time::zero()) return out;
+  std::size_t idx = 0;
+  for (Time lo = Time::zero(); lo < end; lo += sample_every_) {
+    const Time hi = std::min(lo + sample_every_, end);
+    Time busy = Time::zero();
+    // Advance past intervals that end before this bucket.
+    while (idx < intervals_.size() && intervals_[idx].second <= lo) ++idx;
+    for (std::size_t i = idx; i < intervals_.size(); ++i) {
+      const auto& [s, e] = intervals_[i];
+      if (s >= hi) break;
+      busy += std::min(e, hi) - std::max(s, lo);
+    }
+    const double util = 100.0 * (busy / (hi - lo)) / capacity;
+    out.add(hi, util);
+  }
+  return out;
+}
+
+}  // namespace nistream::sim

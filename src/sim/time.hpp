@@ -1,0 +1,68 @@
+// Simulated-time type for the nistream discrete-event substrate.
+//
+// All models in src/hw, src/rtos and src/hostos advance a single simulated
+// clock owned by sim::Engine. Time is kept as a signed 64-bit count of
+// nanoseconds, which gives ~292 years of range — far beyond any experiment in
+// the reproduced paper (the longest run, Figure 6, spans 100 seconds).
+//
+// Cycle <-> time conversion is centralized here so that every CPU model
+// rounds the same way (nearest nanosecond).
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <ostream>
+
+namespace nistream::sim {
+
+/// A point in simulated time, or a duration, in nanoseconds.
+///
+/// Time is deliberately a strong type (not a bare int64) so that raw frame
+/// counts, byte counts and cycle counts cannot be mixed with timestamps.
+class Time {
+ public:
+  constexpr Time() = default;
+
+  /// Named constructors. Prefer these over the raw-ns constructor.
+  [[nodiscard]] static constexpr Time ns(std::int64_t v) { return Time{v}; }
+  [[nodiscard]] static constexpr Time us(double v) {
+    return Time{static_cast<std::int64_t>(v * 1e3 + (v >= 0 ? 0.5 : -0.5))};
+  }
+  [[nodiscard]] static constexpr Time ms(double v) { return us(v * 1e3); }
+  [[nodiscard]] static constexpr Time sec(double v) { return us(v * 1e6); }
+
+  /// Duration of `cycles` clock cycles at `hz` (nearest-ns rounding).
+  [[nodiscard]] static constexpr Time cycles(std::int64_t n, double hz) {
+    return Time{static_cast<std::int64_t>(static_cast<double>(n) * 1e9 / hz + 0.5)};
+  }
+
+  /// Largest representable time; used as "never" for idle timers.
+  [[nodiscard]] static constexpr Time never() { return Time{INT64_MAX}; }
+  [[nodiscard]] static constexpr Time zero() { return Time{0}; }
+
+  [[nodiscard]] constexpr std::int64_t raw_ns() const { return ns_; }
+  [[nodiscard]] constexpr double to_us() const { return static_cast<double>(ns_) / 1e3; }
+  [[nodiscard]] constexpr double to_ms() const { return static_cast<double>(ns_) / 1e6; }
+  [[nodiscard]] constexpr double to_sec() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr auto operator<=>(const Time&) const = default;
+
+  constexpr Time& operator+=(Time o) { ns_ += o.ns_; return *this; }
+  constexpr Time& operator-=(Time o) { ns_ -= o.ns_; return *this; }
+  friend constexpr Time operator+(Time a, Time b) { return Time{a.ns_ + b.ns_}; }
+  friend constexpr Time operator-(Time a, Time b) { return Time{a.ns_ - b.ns_}; }
+  friend constexpr Time operator*(Time a, std::int64_t k) { return Time{a.ns_ * k}; }
+  friend constexpr Time operator*(std::int64_t k, Time a) { return Time{a.ns_ * k}; }
+  /// Ratio of two durations (e.g. utilization computations).
+  friend constexpr double operator/(Time a, Time b) {
+    return static_cast<double>(a.ns_) / static_cast<double>(b.ns_);
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, Time t);
+
+ private:
+  explicit constexpr Time(std::int64_t v) : ns_{v} {}
+  std::int64_t ns_ = 0;
+};
+
+}  // namespace nistream::sim

@@ -1,0 +1,95 @@
+// Structured event tracing.
+//
+// A bounded in-memory trace of typed records (category, label, value) with
+// CSV export — the observability layer a real embedded scheduler ships with
+// (the paper's authors instrumented their i960 build with timestamp-counter
+// probes; this is the equivalent for the simulated build). Tracing is off
+// unless a sink is installed, and costs one branch when off.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "sim/time.hpp"
+
+namespace nistream::sim {
+
+struct TraceRecord {
+  Time at;
+  std::string category;  // e.g. "dwcs", "producer", "net"
+  std::string label;     // e.g. "dispatch", "drop"
+  std::uint64_t a = 0;   // record-defined values (stream id, frame id, ...)
+  std::uint64_t b = 0;
+  double value = 0.0;    // record-defined measure (bytes, delay ms, ...)
+};
+
+/// Bounded FIFO trace sink. Oldest records fall off past `capacity`.
+class Trace {
+ public:
+  explicit Trace(std::size_t capacity = 65536) : capacity_{capacity} {}
+
+  void record(Time at, std::string_view category, std::string_view label,
+              std::uint64_t a = 0, std::uint64_t b = 0, double value = 0.0) {
+    if (records_.size() == capacity_) {
+      records_.pop_front();
+      ++dropped_;
+    }
+    records_.push_back(TraceRecord{at, std::string{category},
+                                   std::string{label}, a, b, value});
+    ++total_;
+  }
+
+  [[nodiscard]] const std::deque<TraceRecord>& records() const {
+    return records_;
+  }
+  [[nodiscard]] std::uint64_t total_recorded() const { return total_; }
+  [[nodiscard]] std::uint64_t dropped_oldest() const { return dropped_; }
+  void clear() { records_.clear(); }
+
+  /// Number of records matching a category (and optional label).
+  [[nodiscard]] std::size_t count(std::string_view category,
+                                  std::string_view label = {}) const {
+    std::size_t n = 0;
+    for (const auto& r : records_) {
+      if (r.category == category && (label.empty() || r.label == label)) ++n;
+    }
+    return n;
+  }
+
+  /// "time_ms,category,label,a,b,value" rows.
+  void write_csv(std::ostream& os) const {
+    os << "time_ms,category,label,a,b,value\n";
+    for (const auto& r : records_) {
+      os << r.at.to_ms() << ',' << r.category << ',' << r.label << ',' << r.a
+         << ',' << r.b << ',' << r.value << '\n';
+    }
+  }
+
+ private:
+  std::size_t capacity_;
+  std::deque<TraceRecord> records_;
+  std::uint64_t total_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+/// Nullable trace handle components hold: one branch when tracing is off.
+class TraceSink {
+ public:
+  TraceSink() = default;
+  explicit TraceSink(Trace* trace) : trace_{trace} {}
+
+  void record(Time at, std::string_view category, std::string_view label,
+              std::uint64_t a = 0, std::uint64_t b = 0,
+              double value = 0.0) const {
+    if (trace_) trace_->record(at, category, label, a, b, value);
+  }
+  [[nodiscard]] bool enabled() const { return trace_ != nullptr; }
+
+ private:
+  Trace* trace_ = nullptr;
+};
+
+}  // namespace nistream::sim

@@ -1,0 +1,126 @@
+// Tests for the scalable server architectures: multi-NI nodes and clusters.
+#include "apps/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/client.hpp"
+
+namespace nistream::apps {
+namespace {
+
+using sim::Time;
+
+dwcs::StreamParams media_stream() {
+  return {.tolerance = {2, 8}, .period = Time::ms(33.333), .lossy = true};
+}
+
+TEST(ServerNode, PlacesStreamsAcrossNisEvenly) {
+  sim::Engine eng;
+  hw::EthernetSwitch ether{eng};
+  ServerNode node{"n0", eng, ether, /*scheduler_nis=*/4};
+  MpegClient client{eng, ether};
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(node.open_stream(media_stream(), 1000, client.port(),
+                                 /*n_frames=*/10, 100 + static_cast<std::uint64_t>(i))
+                    .has_value());
+  }
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(node.admission(i).admitted(), 25u) << "ni " << i;
+  }
+  EXPECT_EQ(node.streams_opened(), 100u);
+  EXPECT_EQ(node.streams_rejected(), 0u);
+}
+
+TEST(ServerNode, RejectsWhenAllNisFull) {
+  sim::Engine eng;
+  hw::EthernetSwitch ether{eng};
+  ServerNode node{"n0", eng, ether, 1};
+  MpegClient client{eng, ether};
+  int placed = 0;
+  // CPU admission bound ~230 streams per NI at 30 fps; ask for far more.
+  for (int i = 0; i < 400; ++i) {
+    if (node.open_stream(media_stream(), 1000, client.port(), 5,
+                         static_cast<std::uint64_t>(i))) {
+      ++placed;
+    }
+  }
+  EXPECT_NEAR(placed, 230, 5);
+  EXPECT_EQ(node.streams_rejected(), 400u - static_cast<std::uint64_t>(placed));
+}
+
+TEST(ServerNode, AdmittedStreamsActuallyDeliver) {
+  sim::Engine eng;
+  hw::EthernetSwitch ether{eng};
+  ServerNode node{"n0", eng, ether, 2};
+  std::vector<std::unique_ptr<MpegClient>> clients;
+  std::vector<StreamPlacement> placements;
+  for (int i = 0; i < 20; ++i) {
+    clients.push_back(std::make_unique<MpegClient>(eng, ether));
+    const auto p = node.open_stream(media_stream(), 1000,
+                                    clients.back()->port(), 30,
+                                    static_cast<std::uint64_t>(500 + i));
+    ASSERT_TRUE(p.has_value());
+    placements.push_back(*p);
+  }
+  eng.run_until(Time::sec(3));
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    EXPECT_EQ(clients[i]->frames_received(placements[i].stream), 30u)
+        << "stream " << i;
+  }
+}
+
+TEST(Cluster, SpreadsLoadAcrossNodes) {
+  sim::Engine eng;
+  hw::EthernetSwitch ether{eng};
+  MediaCluster cluster{eng, ether, /*nodes=*/3, /*nis_per_node=*/2};
+  MpegClient client{eng, ether};
+  for (int i = 0; i < 90; ++i) {
+    ASSERT_TRUE(cluster.open_stream(media_stream(), 1000, client.port(), 5,
+                                    static_cast<std::uint64_t>(i)));
+  }
+  EXPECT_EQ(cluster.opened(), 90u);
+  for (int n = 0; n < 3; ++n) {
+    EXPECT_EQ(cluster.node(n).streams_opened(), 30u) << "node " << n;
+  }
+}
+
+TEST(Cluster, CapacityScalesLinearlyWithNodes) {
+  const auto capacity = [](int nodes, int nis) {
+    sim::Engine eng;
+    hw::EthernetSwitch ether{eng};
+    MediaCluster cluster{eng, ether, nodes, nis};
+    MpegClient client{eng, ether};
+    int placed = 0;
+    for (int i = 0; i < 3000; ++i) {
+      if (cluster.open_stream(media_stream(), 1000, client.port(), 1,
+                              static_cast<std::uint64_t>(i))) {
+        ++placed;
+      } else {
+        break;  // least-loaded placement: first rejection means all full
+      }
+    }
+    return placed;
+  };
+  const int one = capacity(1, 1);
+  EXPECT_NEAR(capacity(1, 2), 2 * one, 4);
+  EXPECT_NEAR(capacity(2, 2), 4 * one, 8);
+}
+
+TEST(Cluster, FailoverToLessLoadedNode) {
+  sim::Engine eng;
+  hw::EthernetSwitch ether{eng};
+  MediaCluster cluster{eng, ether, 2, 1};
+  MpegClient client{eng, ether};
+  // Fill node 0's single NI to the brim via the cluster API...
+  int placed = 0;
+  while (cluster.open_stream(media_stream(), 1000, client.port(), 1,
+                             static_cast<std::uint64_t>(placed))) {
+    ++placed;
+  }
+  // Both nodes filled before the first rejection, evenly.
+  EXPECT_EQ(cluster.node(0).streams_opened(), cluster.node(1).streams_opened());
+  EXPECT_EQ(cluster.rejected(), 1u);
+}
+
+}  // namespace
+}  // namespace nistream::apps

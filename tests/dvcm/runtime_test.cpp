@@ -1,0 +1,144 @@
+// Tests for the DVCM: instruction registry, NI runtime dispatch, host API
+// call/reply, and run-time extension loading.
+#include "dvcm/runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dvcm/host_api.hpp"
+
+namespace nistream::dvcm {
+namespace {
+
+using sim::Time;
+
+struct Fixture {
+  sim::Engine eng;
+  hw::PciBus bus{eng};
+  hw::EthernetSwitch ether{eng};
+  hw::NicBoard board{"ni0", eng, bus, ether, [](const hw::EthFrame&) {}};
+  rtos::WindKernel kernel{eng, board.cpu()};
+  VcmRuntime runtime{board, kernel};
+  VcmHostApi api{eng, board.i2o()};
+};
+
+TEST(Registry, DispatchByOpcode) {
+  InstructionRegistry reg;
+  int hits = 0;
+  reg.add(42, [&](const hw::I2oMessage&) { ++hits; });
+  EXPECT_TRUE(reg.contains(42));
+  EXPECT_FALSE(reg.contains(43));
+  EXPECT_TRUE(reg.dispatch(hw::I2oMessage{.function = 42}));
+  EXPECT_FALSE(reg.dispatch(hw::I2oMessage{.function = 43}));
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(Runtime, ExecutesPostedInstructions) {
+  Fixture f;
+  f.runtime.start();
+  std::uint64_t got = 0;
+  f.runtime.registry().add(kExtensionBase + 7,
+                           [&](const hw::I2oMessage& m) { got = m.w0; });
+  auto host = [&]() -> sim::Coro {
+    co_await f.api.invoke(kExtensionBase + 7, /*w0=*/1234);
+  };
+  host().detach();
+  f.eng.run();
+  EXPECT_EQ(got, 1234u);
+  EXPECT_EQ(f.runtime.dispatched(), 1u);
+}
+
+TEST(Runtime, UnknownInstructionCounted) {
+  Fixture f;
+  f.runtime.start();
+  auto host = [&]() -> sim::Coro {
+    co_await f.api.invoke(0xDEAD);
+  };
+  host().detach();
+  f.eng.run();
+  EXPECT_EQ(f.runtime.unknown_instructions(), 1u);
+}
+
+TEST(Runtime, PingRoundTrip) {
+  Fixture f;
+  f.runtime.start();
+  hw::I2oMessage reply;
+  bool done = false;
+  auto host = [&]() -> sim::Coro {
+    co_await f.api.call(kPing, &reply, 77, nullptr, nullptr, /*w1=*/88);
+    done = true;
+  };
+  host().detach();
+  f.eng.run();
+  ASSERT_TRUE(done);
+  EXPECT_EQ(reply.w0, 77u);
+  EXPECT_EQ(reply.w1, 88u);
+  EXPECT_EQ(reply.function, kPing | kReplyFlag);
+}
+
+TEST(Runtime, CallsChargeNiCpuTime) {
+  Fixture f;
+  f.runtime.start();
+  auto host = [&]() -> sim::Coro {
+    for (int i = 0; i < 10; ++i) {
+      co_await f.api.invoke(kNop);
+    }
+  };
+  host().detach();
+  f.eng.run();
+  // The dispatch task consumed NI CPU for each message.
+  EXPECT_GT(f.kernel.ni_cpu_busy(), Time::zero());
+  EXPECT_EQ(f.runtime.dispatched(), 10u);
+}
+
+TEST(Runtime, ConcurrentCallsDemultiplex) {
+  Fixture f;
+  f.runtime.start();
+  hw::I2oMessage r1, r2;
+  int done = 0;
+  auto c1 = [&]() -> sim::Coro {
+    co_await f.api.call(kPing, &r1, 1);
+    ++done;
+  };
+  auto c2 = [&]() -> sim::Coro {
+    co_await f.api.call(kPing, &r2, 2);
+    ++done;
+  };
+  c1().detach();
+  c2().detach();
+  f.eng.run();
+  EXPECT_EQ(done, 2);
+  EXPECT_EQ(r1.w0, 1u);
+  EXPECT_EQ(r2.w0, 2u);
+}
+
+struct TestExtension final : ExtensionModule {
+  int* installs;
+  explicit TestExtension(int* n) : installs{n} {}
+  const char* name() const override { return "test-ext"; }
+  void install(VcmRuntime& rt) override {
+    ++*installs;
+    rt.registry().add(kExtensionBase + 100, [](const hw::I2oMessage&) {});
+  }
+};
+
+TEST(Runtime, ExtensionLoadingRegistersInstructions) {
+  Fixture f;
+  f.runtime.start();
+  int installs = 0;
+  f.runtime.load_extension(std::make_unique<TestExtension>(&installs));
+  EXPECT_EQ(installs, 1);
+  EXPECT_TRUE(f.runtime.registry().contains(kExtensionBase + 100));
+  ASSERT_EQ(f.runtime.extensions().size(), 1u);
+  EXPECT_STREQ(f.runtime.extensions()[0]->name(), "test-ext");
+
+  hw::I2oMessage reply;
+  auto host = [&]() -> sim::Coro {
+    co_await f.api.call(kListExtensions, &reply);
+  };
+  host().detach();
+  f.eng.run();
+  EXPECT_EQ(reply.w0, 1u);
+}
+
+}  // namespace
+}  // namespace nistream::dvcm

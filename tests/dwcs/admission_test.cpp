@@ -1,0 +1,98 @@
+// Tests for the DWCS admission controller.
+#include "dwcs/admission.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nistream::dwcs {
+namespace {
+
+using sim::Time;
+
+AdmissionController fast_ethernet() {
+  // 100 Mbps link, 95 us per frame of NI CPU.
+  return AdmissionController{100e6 / 8.0, Time::us(95)};
+}
+
+TEST(Admission, OntimeFraction) {
+  EXPECT_DOUBLE_EQ(AdmissionController::ontime_fraction({0, 8}), 1.0);
+  EXPECT_DOUBLE_EQ(AdmissionController::ontime_fraction({2, 8}), 0.75);
+  EXPECT_DOUBLE_EQ(AdmissionController::ontime_fraction({8, 8}), 0.0);
+}
+
+TEST(Admission, LinkLoadComputation) {
+  auto ac = fast_ethernet();
+  // 1000 B / 33.333 ms = 30 KB/s of raw rate; tolerance 2/8 => 75% on time
+  // => 22.5 KB/s of 12.5 MB/s = 0.18%.
+  const AdmissionController::Request r{
+      .tolerance = {2, 8}, .period = Time::ms(33.333),
+      .mean_frame_bytes = 1000};
+  EXPECT_NEAR(ac.link_load(r), 0.0018, 0.0001);
+}
+
+TEST(Admission, CpuLoadUsesFullFrameRate) {
+  auto ac = fast_ethernet();
+  // 30 fps x 95 us = 2.85 ms/s = 0.285%, regardless of tolerance.
+  for (const std::int64_t x : {0, 4, 7}) {
+    const AdmissionController::Request r{
+        .tolerance = {x, 8}, .period = Time::ms(33.333),
+        .mean_frame_bytes = 1000};
+    EXPECT_NEAR(ac.cpu_load(r), 0.00285, 0.0001);
+  }
+}
+
+TEST(Admission, AdmitsUntilHeadroomThenRejects) {
+  auto ac = fast_ethernet();
+  const AdmissionController::Request r{
+      .tolerance = {0, 8}, .period = Time::ms(33.333),
+      .mean_frame_bytes = 1000};
+  // CPU is the binding resource here: 0.285%/stream against 90% headroom
+  // => ~315 streams.
+  int admitted = 0;
+  while (ac.admit(r)) ++admitted;
+  EXPECT_NEAR(admitted, 315, 4);
+  EXPECT_EQ(ac.admitted(), static_cast<std::uint64_t>(admitted));
+  EXPECT_EQ(ac.rejected(), 1u);
+  EXPECT_LE(ac.cpu_utilization(), ac.headroom());
+}
+
+TEST(Admission, ToleranceRaisesLinkCapacityNotCpu) {
+  // High-tolerance streams need less bandwidth reserved; on a link-bound
+  // workload (big frames) that admits more of them.
+  AdmissionController tight_ac{100e6 / 8.0, Time::us(10)};
+  AdmissionController loose_ac{100e6 / 8.0, Time::us(10)};
+  const AdmissionController::Request tight{
+      .tolerance = {0, 8}, .period = Time::ms(33.333),
+      .mean_frame_bytes = 20000};
+  const AdmissionController::Request loose{
+      .tolerance = {6, 8}, .period = Time::ms(33.333),
+      .mean_frame_bytes = 20000};
+  int n_tight = 0, n_loose = 0;
+  while (tight_ac.admit(tight)) ++n_tight;
+  while (loose_ac.admit(loose)) ++n_loose;
+  EXPECT_GT(n_loose, 3 * n_tight);
+}
+
+TEST(Admission, ReleaseReturnsCapacity) {
+  auto ac = fast_ethernet();
+  const AdmissionController::Request r{
+      .tolerance = {2, 8}, .period = Time::ms(33.333),
+      .mean_frame_bytes = 1000};
+  ASSERT_TRUE(ac.admit(r));
+  const double used = ac.cpu_utilization();
+  EXPECT_GT(used, 0.0);
+  ac.release(r);
+  EXPECT_NEAR(ac.cpu_utilization(), 0.0, 1e-12);
+  EXPECT_NEAR(ac.link_utilization(), 0.0, 1e-12);
+  EXPECT_EQ(ac.admitted(), 0u);
+}
+
+TEST(Admission, RejectsInvalidRequests) {
+  auto ac = fast_ethernet();
+  EXPECT_FALSE(ac.admit({.tolerance = {9, 8}, .period = Time::ms(10),
+                         .mean_frame_bytes = 100}));
+  EXPECT_FALSE(ac.admit({.tolerance = {1, 8}, .period = Time::zero(),
+                         .mean_frame_bytes = 100}));
+}
+
+}  // namespace
+}  // namespace nistream::dwcs

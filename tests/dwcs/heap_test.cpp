@@ -1,0 +1,143 @@
+// Tests for the handle-based indexed heap.
+#include "dwcs/heap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sim/random.hpp"
+
+namespace nistream::dwcs {
+namespace {
+
+// Key table the comparator closes over; update() re-sifts after key changes.
+struct Keyed {
+  std::vector<int> keys;
+  IndexedHeap heap;
+
+  explicit Keyed(std::size_t n)
+      : keys(n, 0),
+        heap{[this](StreamId a, StreamId b) { return keys[a] < keys[b]; },
+             null_cost_hook(), 0x1000} {}
+};
+
+TEST(IndexedHeap, TopIsMinimum) {
+  Keyed k{5};
+  k.keys = {50, 10, 30, 20, 40};
+  for (StreamId i = 0; i < 5; ++i) k.heap.push(i);
+  EXPECT_EQ(k.heap.top(), StreamId{1});
+  EXPECT_EQ(k.heap.size(), 5u);
+}
+
+TEST(IndexedHeap, EraseMiddleKeepsOrder) {
+  Keyed k{5};
+  k.keys = {50, 10, 30, 20, 40};
+  for (StreamId i = 0; i < 5; ++i) k.heap.push(i);
+  k.heap.erase(1);  // remove the minimum's id
+  EXPECT_EQ(k.heap.top(), StreamId{3});
+  k.heap.erase(2);
+  EXPECT_EQ(k.heap.top(), StreamId{3});
+  EXPECT_FALSE(k.heap.contains(2));
+  EXPECT_TRUE(k.heap.contains(3));
+}
+
+TEST(IndexedHeap, UpdateAfterKeyDecrease) {
+  Keyed k{4};
+  k.keys = {40, 30, 20, 10};
+  for (StreamId i = 0; i < 4; ++i) k.heap.push(i);
+  k.keys[0] = 1;  // now the smallest
+  k.heap.update(0);
+  EXPECT_EQ(k.heap.top(), StreamId{0});
+}
+
+TEST(IndexedHeap, UpdateAfterKeyIncrease) {
+  Keyed k{4};
+  k.keys = {1, 30, 20, 10};
+  for (StreamId i = 0; i < 4; ++i) k.heap.push(i);
+  k.keys[0] = 100;
+  k.heap.update(0);
+  EXPECT_EQ(k.heap.top(), StreamId{3});
+}
+
+TEST(IndexedHeap, EmptyTopIsNullopt) {
+  Keyed k{1};
+  EXPECT_FALSE(k.heap.top().has_value());
+  k.heap.push(0);
+  k.heap.erase(0);
+  EXPECT_FALSE(k.heap.top().has_value());
+}
+
+// Property: against a brute-force oracle over random push/erase/update
+// sequences, top() always returns the true minimum.
+TEST(IndexedHeapProperty, MatchesBruteForceOracle) {
+  sim::Rng rng{4242};
+  constexpr std::size_t kN = 64;
+  Keyed k{kN};
+  std::vector<bool> present(kN, false);
+
+  const auto oracle_min = [&]() -> std::optional<StreamId> {
+    std::optional<StreamId> best;
+    for (StreamId i = 0; i < kN; ++i) {
+      if (!present[i]) continue;
+      if (!best || k.keys[i] < k.keys[*best] ||
+          (k.keys[i] == k.keys[*best] && i < *best)) {
+        // Heap ties are arbitrary; compare by key only below.
+        if (!best || k.keys[i] < k.keys[*best]) best = i;
+      }
+    }
+    return best;
+  };
+
+  for (int step = 0; step < 20000; ++step) {
+    const auto id = static_cast<StreamId>(rng.below(kN));
+    switch (rng.below(3)) {
+      case 0:
+        if (!present[id]) {
+          k.keys[id] = static_cast<int>(rng.below(1000));
+          k.heap.push(id);
+          present[id] = true;
+        }
+        break;
+      case 1:
+        if (present[id]) {
+          k.heap.erase(id);
+          present[id] = false;
+        }
+        break;
+      case 2:
+        if (present[id]) {
+          k.keys[id] = static_cast<int>(rng.below(1000));
+          k.heap.update(id);
+        }
+        break;
+    }
+    const auto top = k.heap.top();
+    const auto expect = oracle_min();
+    ASSERT_EQ(top.has_value(), expect.has_value());
+    if (top) {
+      // Same key as the oracle minimum (ids may differ on ties).
+      ASSERT_EQ(k.keys[*top], k.keys[*expect]) << "at step " << step;
+    }
+  }
+}
+
+TEST(IndexedHeap, HeapsortAgreesWithStdSort) {
+  sim::Rng rng{7};
+  constexpr std::size_t kN = 200;
+  Keyed k{kN};
+  for (StreamId i = 0; i < kN; ++i) {
+    k.keys[i] = static_cast<int>(rng.below(10000));
+    k.heap.push(i);
+  }
+  std::vector<int> drained;
+  while (const auto top = k.heap.top()) {
+    drained.push_back(k.keys[*top]);
+    k.heap.erase(*top);
+  }
+  auto sorted = k.keys;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(drained, sorted);
+}
+
+}  // namespace
+}  // namespace nistream::dwcs

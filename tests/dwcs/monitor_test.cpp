@@ -1,0 +1,89 @@
+// Tests for the sliding-window violation monitor.
+#include "dwcs/monitor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nistream::dwcs {
+namespace {
+
+using Outcome = WindowViolationMonitor::Outcome;
+
+TEST(Monitor, NoViolationWithinTolerance) {
+  WindowViolationMonitor m;
+  m.add_stream({1, 4});  // 1 loss per 4 allowed
+  // Pattern: L O O O L O O O — every window of 4 has exactly 1 loss.
+  for (int rep = 0; rep < 4; ++rep) {
+    m.record(0, Outcome::kDropped);
+    m.record(0, Outcome::kOnTime);
+    m.record(0, Outcome::kOnTime);
+    m.record(0, Outcome::kOnTime);
+  }
+  EXPECT_EQ(m.violating_windows(0), 0u);
+  EXPECT_EQ(m.packets(0), 16u);
+}
+
+TEST(Monitor, AdjacentLossesViolate) {
+  WindowViolationMonitor m;
+  m.add_stream({1, 4});
+  m.record(0, Outcome::kOnTime);
+  m.record(0, Outcome::kOnTime);
+  m.record(0, Outcome::kDropped);
+  m.record(0, Outcome::kDropped);  // window OODD: 2 losses > 1
+  EXPECT_EQ(m.violating_windows(0), 1u);
+}
+
+TEST(Monitor, SlidingWindowCountsEveryOffendingPosition) {
+  WindowViolationMonitor m;
+  m.add_stream({0, 3});  // zero tolerance
+  m.record(0, Outcome::kOnTime);
+  m.record(0, Outcome::kOnTime);
+  m.record(0, Outcome::kLate);  // windows: OOL (violates)
+  m.record(0, Outcome::kOnTime);  // OLO (violates)
+  m.record(0, Outcome::kOnTime);  // LOO (violates)
+  m.record(0, Outcome::kOnTime);  // OOO (fine)
+  EXPECT_EQ(m.violating_windows(0), 3u);
+}
+
+TEST(Monitor, LateCountsAsLoss) {
+  WindowViolationMonitor m;
+  m.add_stream({0, 2});
+  m.record(0, Outcome::kOnTime);
+  m.record(0, Outcome::kLate);
+  EXPECT_EQ(m.violating_windows(0), 1u);
+}
+
+TEST(Monitor, ShortSequencesCannotViolate) {
+  WindowViolationMonitor m;
+  m.add_stream({0, 5});
+  for (int i = 0; i < 4; ++i) m.record(0, Outcome::kDropped);
+  EXPECT_EQ(m.violating_windows(0), 0u);  // no full window of 5 yet
+  m.record(0, Outcome::kDropped);
+  EXPECT_EQ(m.violating_windows(0), 1u);
+}
+
+TEST(Monitor, PerStreamIndependence) {
+  WindowViolationMonitor m;
+  m.add_stream({0, 2});
+  m.add_stream({2, 2});  // tolerates everything
+  for (int i = 0; i < 10; ++i) {
+    m.record(0, Outcome::kDropped);
+    m.record(1, Outcome::kDropped);
+  }
+  EXPECT_GT(m.violating_windows(0), 0u);
+  EXPECT_EQ(m.violating_windows(1), 0u);
+  EXPECT_EQ(m.total_violating_windows(), m.violating_windows(0));
+}
+
+TEST(Monitor, ViolationRate) {
+  WindowViolationMonitor m;
+  m.add_stream({0, 2});
+  m.record(0, Outcome::kDropped);
+  m.record(0, Outcome::kDropped);  // window 1: violate
+  m.record(0, Outcome::kOnTime);   // window 2: violate (D,O has 1 loss > 0)
+  m.record(0, Outcome::kOnTime);   // window 3: fine
+  // 3 full windows, 2 violating.
+  EXPECT_DOUBLE_EQ(m.violation_rate(0), 2.0 / 3.0);
+}
+
+}  // namespace
+}  // namespace nistream::dwcs

@@ -1,0 +1,88 @@
+// Tests for the Q16.16 fixed-point scalar.
+#include "fixedpt/fixed.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/random.hpp"
+
+namespace nistream::fixedpt {
+namespace {
+
+TEST(Fixed, IntRoundTrip) {
+  for (std::int64_t v : {-100, -1, 0, 1, 7, 32767}) {
+    EXPECT_EQ(Fixed::from_int(v).to_int(), v);
+    EXPECT_DOUBLE_EQ(Fixed::from_int(v).to_double(), static_cast<double>(v));
+  }
+}
+
+TEST(Fixed, DoubleRoundTripWithinPrecision) {
+  for (double v : {0.5, 0.25, -0.75, 3.14159, 100.001, -42.5}) {
+    EXPECT_NEAR(Fixed::from_double(v).to_double(), v, 1.0 / (1 << 16));
+  }
+}
+
+TEST(Fixed, RatioIsRoundedToNearest) {
+  // 1/3 in Q16.16 = 21845.33 -> 21845.
+  EXPECT_EQ(Fixed::from_ratio(1, 3).raw_bits(), 21845);
+  // 2/3 = 43690.67 -> 43691.
+  EXPECT_EQ(Fixed::from_ratio(2, 3).raw_bits(), 43691);
+  EXPECT_EQ(Fixed::from_ratio(1, 2).raw_bits(), 32768);
+  EXPECT_EQ(Fixed::from_ratio(-1, 3).raw_bits(), -21845);
+}
+
+TEST(Fixed, Arithmetic) {
+  const Fixed a = Fixed::from_double(2.5), b = Fixed::from_double(1.25);
+  EXPECT_DOUBLE_EQ((a + b).to_double(), 3.75);
+  EXPECT_DOUBLE_EQ((a - b).to_double(), 1.25);
+  EXPECT_DOUBLE_EQ((a * b).to_double(), 3.125);
+  EXPECT_DOUBLE_EQ((a / b).to_double(), 2.0);
+}
+
+TEST(Fixed, Comparison) {
+  EXPECT_LT(Fixed::from_double(1.0), Fixed::from_double(1.5));
+  EXPECT_EQ(Fixed::from_int(3), Fixed::from_ratio(6, 2));
+  EXPECT_GT(Fixed::from_double(-1.0), Fixed::from_double(-2.0));
+}
+
+TEST(Fixed, ShiftDivision) {
+  const Fixed v = Fixed::from_int(100);
+  EXPECT_EQ(v.shr(2).to_int(), 25);
+  EXPECT_DOUBLE_EQ(Fixed::from_double(1.0).shr(1).to_double(), 0.5);
+}
+
+// Property: fixed-point arithmetic tracks double arithmetic within the
+// representable precision over the DWCS value domain (small ratios, times in
+// seconds).
+TEST(FixedProperty, TracksDoubleWithinUlp) {
+  sim::Rng rng{77};
+  const double eps = 1.0 / (1 << 16);
+  for (int i = 0; i < 20000; ++i) {
+    const double a = rng.uniform(-1000.0, 1000.0);
+    const double b = rng.uniform(-1000.0, 1000.0);
+    const Fixed fa = Fixed::from_double(a), fb = Fixed::from_double(b);
+    EXPECT_NEAR((fa + fb).to_double(), a + b, 2 * eps);
+    EXPECT_NEAR((fa - fb).to_double(), a - b, 2 * eps);
+    // Multiplication error scales with the magnitudes.
+    EXPECT_NEAR((fa * fb).to_double(), a * b,
+                (std::abs(a) + std::abs(b) + 1.0) * eps);
+  }
+}
+
+TEST(FixedProperty, DivisionTracksDouble) {
+  sim::Rng rng{78};
+  const double eps = 1.0 / (1 << 16);
+  for (int i = 0; i < 20000; ++i) {
+    const double a = rng.uniform(-100.0, 100.0);
+    double b = rng.uniform(-100.0, 100.0);
+    if (std::abs(b) < 0.1) b = b < 0 ? -0.1 : 0.1;  // avoid blow-up
+    const Fixed fa = Fixed::from_double(a), fb = Fixed::from_double(b);
+    // Error propagation: |d(a/b)| <= (eps/2)/|b| + (eps/2)|a|/b^2 plus the
+    // division's own truncation; bound with a 2x safety factor.
+    const double bound =
+        eps * (2.0 + (1.0 / std::abs(b)) * (1.0 + std::abs(a / b)));
+    EXPECT_NEAR((fa / fb).to_double(), a / b, bound);
+  }
+}
+
+}  // namespace
+}  // namespace nistream::fixedpt

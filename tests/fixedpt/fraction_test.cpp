@@ -1,0 +1,88 @@
+// Tests for the exact Fraction type used by the fixed-point DWCS port.
+#include "fixedpt/fraction.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/random.hpp"
+
+namespace nistream::fixedpt {
+namespace {
+
+TEST(Fraction, DefaultIsZero) {
+  Fraction f;
+  EXPECT_TRUE(f.is_zero());
+  EXPECT_EQ(f.num(), 0);
+  EXPECT_EQ(f.den(), 1);
+}
+
+TEST(Fraction, CrossMultiplyComparison) {
+  EXPECT_LT(Fraction(1, 3), Fraction(1, 2));
+  EXPECT_GT(Fraction(3, 4), Fraction(2, 3));
+  EXPECT_EQ(Fraction(2, 4), Fraction(1, 2));
+  EXPECT_LE(Fraction(1, 2), Fraction(2, 4));
+  EXPECT_GE(Fraction(1, 2), Fraction(2, 4));
+}
+
+TEST(Fraction, ZeroComparesBelowPositive) {
+  EXPECT_LT(Fraction(0, 5), Fraction(1, 100));
+  EXPECT_EQ(Fraction(0, 5), Fraction(0, 7));  // all zeros equal
+}
+
+TEST(Fraction, ComparisonIsExactWhereDoubleIsNot) {
+  // 10000000000000001/30000000000000003 == 1/3 exactly; a double comparison
+  // of the quotients cannot tell them apart reliably, cross-multiply can.
+  const Fraction a{10000000000000001, 30000000000000003};
+  const Fraction b{1, 3};
+  EXPECT_EQ(a, b);
+  const Fraction c{10000000000000002, 30000000000000003};  // slightly larger
+  EXPECT_GT(c, b);
+}
+
+TEST(Fraction, Normalized) {
+  const Fraction f = Fraction(6, 8).normalized();
+  EXPECT_EQ(f.num(), 3);
+  EXPECT_EQ(f.den(), 4);
+  const Fraction z = Fraction(0, 8).normalized();
+  EXPECT_EQ(z.num(), 0);
+  EXPECT_EQ(z.den(), 1);
+}
+
+TEST(Fraction, ToDouble) {
+  EXPECT_DOUBLE_EQ(Fraction(1, 4).to_double(), 0.25);
+  EXPECT_DOUBLE_EQ(Fraction(0, 3).to_double(), 0.0);
+}
+
+// Property: ordering agrees with exact rational ordering computed in
+// 128-bit arithmetic, over random small window constraints (the DWCS domain:
+// x <= y, y up to a few thousand).
+TEST(FractionProperty, OrderAgreesWithRationalOrder) {
+  sim::Rng rng{2024};
+  for (int i = 0; i < 20000; ++i) {
+    const std::int64_t y1 = 1 + static_cast<std::int64_t>(rng.below(4096));
+    const std::int64_t y2 = 1 + static_cast<std::int64_t>(rng.below(4096));
+    const std::int64_t x1 = static_cast<std::int64_t>(rng.below(static_cast<std::uint64_t>(y1) + 1));
+    const std::int64_t x2 = static_cast<std::int64_t>(rng.below(static_cast<std::uint64_t>(y2) + 1));
+    const Fraction a{x1, y1}, b{x2, y2};
+    const __int128 lhs = static_cast<__int128>(x1) * y2;
+    const __int128 rhs = static_cast<__int128>(x2) * y1;
+    EXPECT_EQ(a < b, lhs < rhs);
+    EXPECT_EQ(a == b, lhs == rhs);
+    EXPECT_EQ(a > b, lhs > rhs);
+  }
+}
+
+TEST(ShiftDivide, MatchesDivisionForPowersOfTwo) {
+  EXPECT_EQ(shift_divide(100, 4), 25);
+  EXPECT_EQ(shift_divide(101, 4), 25);  // floor semantics
+  EXPECT_EQ(shift_divide(7, 1), 7);
+  EXPECT_EQ(shift_divide(1 << 20, 1 << 10), 1 << 10);
+  sim::Rng rng{55};
+  for (int i = 0; i < 1000; ++i) {
+    const auto a = static_cast<std::int64_t>(rng.below(1u << 30));
+    const std::int64_t p = std::int64_t{1} << rng.below(20);
+    EXPECT_EQ(shift_divide(a, p), a / p);
+  }
+}
+
+}  // namespace
+}  // namespace nistream::fixedpt

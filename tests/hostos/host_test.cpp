@@ -1,0 +1,133 @@
+// Tests for the host machine model: process competition, pbind affinity,
+// and the perfmeter.
+#include "hostos/host.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nistream::hostos {
+namespace {
+
+using sim::Time;
+
+TEST(Host, SingleProcessTiming) {
+  sim::Engine eng;
+  HostMachine host{eng, /*online_cpus=*/2};
+  Process& p = host.spawn("proc");
+  Time done = Time::never();
+  auto body = [&]() -> sim::Coro {
+    co_await p.consume(Time::ms(25));
+    done = eng.now();
+  };
+  body().detach();
+  eng.run();
+  EXPECT_EQ(done, Time::ms(25) + Time::us(12));  // + dispatch switch
+}
+
+TEST(Host, ConsumeCyclesAtHostClock) {
+  sim::Engine eng;
+  HostMachine host{eng, 1};
+  Process& p = host.spawn("proc");
+  Time done = Time::never();
+  auto body = [&]() -> sim::Coro {
+    co_await p.consume_cycles(200'000'000);  // 1 s at 200 MHz
+    done = eng.now();
+  };
+  body().detach();
+  eng.run();
+  EXPECT_EQ(done, Time::sec(1) + Time::us(12));
+}
+
+TEST(Host, CompetitionStretchesRuntime) {
+  // The essence of Figures 7-8: a process that needs 10 ms of CPU per
+  // period takes much longer under competing load on one CPU. Pin the
+  // quantum to 10 ms so the interleaving is exact.
+  sim::Engine eng;
+  hw::Calibration cal;
+  cal.host_os.quantum = Time::ms(10);
+  HostMachine host{eng, 1, cal, /*meter_sample=*/Time::ms(100)};
+  Process& victim = host.spawn("dwcs");
+  Process& hog = host.spawn("webserver");
+  Time victim_done = Time::never();
+  auto pv = [&]() -> sim::Coro {
+    co_await victim.consume(Time::ms(50));
+    victim_done = eng.now();
+  };
+  auto ph = [&]() -> sim::Coro { co_await hog.consume(Time::ms(200)); };
+  pv().detach();
+  ph().detach();
+  eng.run();
+  // Round-robin 10 ms quanta (V,H,V,H,...): the victim's fifth quantum ends
+  // at 90 ms, plus ~9 context switches.
+  EXPECT_GT(victim_done, Time::ms(90));
+  EXPECT_LT(victim_done, Time::ms(95));
+}
+
+TEST(Host, SecondCpuRemovesCompetition) {
+  sim::Engine eng;
+  HostMachine host{eng, 2};
+  Process& victim = host.spawn("dwcs");
+  Process& hog = host.spawn("webserver");
+  Time victim_done = Time::never();
+  auto pv = [&]() -> sim::Coro {
+    co_await victim.consume(Time::ms(50));
+    victim_done = eng.now();
+  };
+  auto ph = [&]() -> sim::Coro { co_await hog.consume(Time::ms(200)); };
+  pv().detach();
+  ph().detach();
+  eng.run();
+  // Own CPU, no interference (just its own dispatch switch).
+  EXPECT_EQ(victim_done, Time::ms(50) + Time::us(12));
+}
+
+TEST(Host, PbindPinsProcess) {
+  sim::Engine eng;
+  HostMachine host{eng, 2};
+  Process& a = host.spawn("a", kDefaultPriority, /*affinity=*/0);
+  Process& b = host.spawn("b", kDefaultPriority, /*affinity=*/0);
+  Time done_b = Time::never();
+  auto pa = [&]() -> sim::Coro { co_await a.consume(Time::ms(30)); };
+  auto pb = [&]() -> sim::Coro {
+    co_await b.consume(Time::ms(30));
+    done_b = eng.now();
+  };
+  pa().detach();
+  pb().detach();
+  eng.run();
+  EXPECT_GT(done_b, Time::ms(59));  // serialized on CPU 0 despite idle CPU 1
+}
+
+TEST(Host, PerfmeterReportsUtilization) {
+  sim::Engine eng;
+  HostMachine host{eng, 2, hw::Calibration{}, Time::ms(100)};
+  Process& p = host.spawn("p", kDefaultPriority, /*affinity=*/0);
+  auto body = [&]() -> sim::Coro {
+    for (int i = 0; i < 10; ++i) {
+      co_await p.consume(Time::ms(50));
+      co_await sim::Delay{eng, Time::ms(50)};
+    }
+  };
+  body().detach();
+  eng.run();
+  const auto util = host.perfmeter(Time::sec(1));
+  // One CPU 50% busy on a 2-CPU machine => ~25% total utilization.
+  EXPECT_NEAR(util.mean_between(Time::zero(), Time::sec(1)), 25.0, 1.0);
+}
+
+TEST(Host, ContextSwitchesAreCounted) {
+  sim::Engine eng;
+  hw::Calibration cal;
+  cal.host_os.quantum = Time::ms(10);
+  HostMachine host{eng, 1, cal};
+  Process& a = host.spawn("a");
+  Process& b = host.spawn("b");
+  auto pa = [&]() -> sim::Coro { co_await a.consume(Time::ms(30)); };
+  auto pb = [&]() -> sim::Coro { co_await b.consume(Time::ms(30)); };
+  pa().detach();
+  pb().detach();
+  eng.run();
+  EXPECT_GE(host.scheduler().context_switches(), 6u);  // 10 ms quanta
+}
+
+}  // namespace
+}  // namespace nistream::hostos

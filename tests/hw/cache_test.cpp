@@ -1,0 +1,76 @@
+// Tests for the direct-mapped data-cache model.
+#include "hw/cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nistream::hw {
+namespace {
+
+CacheParams small_cache() {
+  return CacheParams{.line_bytes = 16, .num_lines = 4, .hit_cycles = 1,
+                     .miss_cycles = 20};
+}
+
+TEST(Cache, ColdMissThenHit) {
+  CacheModel c{small_cache()};
+  EXPECT_EQ(c.access(0x100), 20);  // cold
+  EXPECT_EQ(c.access(0x100), 1);   // warm
+  EXPECT_EQ(c.access(0x104), 1);   // same 16-byte line
+  EXPECT_EQ(c.hits(), 2u);
+  EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(Cache, ConflictEviction) {
+  CacheModel c{small_cache()};
+  // 4 lines of 16 bytes: addresses 0x0 and 0x40 map to the same set.
+  EXPECT_EQ(c.access(0x00), 20);
+  EXPECT_EQ(c.access(0x40), 20);  // evicts 0x00's line
+  EXPECT_EQ(c.access(0x00), 20);  // miss again
+}
+
+TEST(Cache, DistinctSetsCoexist) {
+  CacheModel c{small_cache()};
+  c.access(0x00);
+  c.access(0x10);
+  c.access(0x20);
+  c.access(0x30);
+  EXPECT_EQ(c.access(0x00), 1);
+  EXPECT_EQ(c.access(0x10), 1);
+  EXPECT_EQ(c.access(0x20), 1);
+  EXPECT_EQ(c.access(0x30), 1);
+}
+
+TEST(Cache, DisabledAlwaysPaysMemoryCost) {
+  CacheModel c{small_cache()};
+  c.set_enabled(false);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(c.access(0x100), 20);
+  EXPECT_EQ(c.hits(), 0u);
+  EXPECT_EQ(c.misses(), 5u);
+}
+
+TEST(Cache, DisableInvalidates) {
+  CacheModel c{small_cache()};
+  c.access(0x100);
+  c.set_enabled(false);
+  c.set_enabled(true);
+  EXPECT_EQ(c.access(0x100), 20);  // content was lost
+}
+
+TEST(Cache, InvalidateFlushesEverything) {
+  CacheModel c{small_cache()};
+  c.access(0x00);
+  c.access(0x10);
+  c.invalidate();
+  EXPECT_EQ(c.access(0x00), 20);
+  EXPECT_EQ(c.access(0x10), 20);
+}
+
+TEST(Cache, HitRate) {
+  CacheModel c{small_cache()};
+  c.access(0x0);            // miss
+  for (int i = 0; i < 9; ++i) c.access(0x0);  // 9 hits
+  EXPECT_DOUBLE_EQ(c.hit_rate(), 0.9);
+}
+
+}  // namespace
+}  // namespace nistream::hw

@@ -1,0 +1,84 @@
+// Tests for the cycle-accounting CPU model.
+#include "hw/cpu.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nistream::hw {
+namespace {
+
+TEST(Cpu, ChargeAccumulates) {
+  CpuModel cpu{kI960Rd};
+  cpu.charge(100);
+  cpu.charge(32);
+  EXPECT_EQ(cpu.cycles(), 132);
+}
+
+TEST(Cpu, ElapsedConvertsAtClockRate) {
+  CpuModel cpu{kI960Rd};  // 66 MHz
+  cpu.charge(66);
+  EXPECT_EQ(cpu.elapsed(), sim::Time::us(1));
+  cpu.charge(66 * 999);
+  EXPECT_EQ(cpu.elapsed(), sim::Time::ms(1));
+}
+
+TEST(Cpu, ArithCostsPerTable) {
+  CpuModel cpu{kI960Rd};
+  cpu.charge_arith(kI960IntCosts, ArithOp::kAdd);
+  EXPECT_EQ(cpu.cycles(), kI960IntCosts.add);
+  cpu.reset();
+  cpu.charge_arith(kI960SoftFloatCosts, ArithOp::kDiv, 3);
+  EXPECT_EQ(cpu.cycles(), 3 * kI960SoftFloatCosts.div);
+}
+
+TEST(Cpu, SoftFloatIsMuchSlowerThanInt) {
+  // The whole Table 1 vs fixed-point story rests on this gap.
+  EXPECT_GT(kI960SoftFloatCosts.add, 20 * kI960IntCosts.add);
+  EXPECT_GT(kI960SoftFloatCosts.cmp, 20 * kI960IntCosts.cmp);
+}
+
+TEST(Cpu, MemAccessGoesThroughCache) {
+  CpuModel cpu{kI960Rd};
+  cpu.mem_access(0x1000);
+  const auto cold = cpu.cycles();
+  cpu.mem_access(0x1000);
+  const auto warm = cpu.cycles() - cold;
+  EXPECT_EQ(cold, kI960Rd.dcache.miss_cycles);
+  EXPECT_EQ(warm, kI960Rd.dcache.hit_cycles);
+}
+
+TEST(Cpu, DisabledCacheChargesMissEveryTime) {
+  CpuModel cpu{kI960Rd};
+  cpu.dcache().set_enabled(false);
+  cpu.mem_access(0x1000);
+  cpu.mem_access(0x1000);
+  EXPECT_EQ(cpu.cycles(), 2 * kI960Rd.dcache.miss_cycles);
+}
+
+TEST(Cpu, RegisterAccessIsCheapAndUncached) {
+  CpuModel cpu{kI960Rd};
+  cpu.dcache().set_enabled(false);  // register file must not care
+  cpu.reg_access();
+  cpu.reg_access();
+  EXPECT_EQ(cpu.cycles(), 2 * kI960Rd.mmio_reg_cycles);
+  EXPECT_LT(kI960Rd.mmio_reg_cycles, kI960Rd.dcache.miss_cycles);
+}
+
+TEST(Cpu, TimeOfUsesOwnClock) {
+  CpuModel ni{kI960Rd};
+  CpuModel host{kPentiumPro200};
+  // The same cycle count is ~3x longer on the 66 MHz part.
+  EXPECT_GT(ni.time_of(1000), host.time_of(1000));
+  EXPECT_NEAR(ni.time_of(66000).to_us(), 1000.0, 1.0);
+  EXPECT_NEAR(host.time_of(66000).to_us(), 330.0, 1.0);
+}
+
+TEST(Cpu, ResetClearsCycles) {
+  CpuModel cpu{kI960Rd};
+  cpu.charge(500);
+  cpu.reset();
+  EXPECT_EQ(cpu.cycles(), 0);
+  EXPECT_EQ(cpu.elapsed(), sim::Time::zero());
+}
+
+}  // namespace
+}  // namespace nistream::hw

@@ -1,0 +1,106 @@
+// Tests for the switched-Ethernet model.
+#include "hw/ethernet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace nistream::hw {
+namespace {
+
+struct Fixture {
+  sim::Engine eng;
+  EthernetSwitch sw{eng};
+  std::vector<std::pair<sim::Time, EthFrame>> rx_a, rx_b;
+  int a, b;
+
+  Fixture() {
+    a = sw.add_port([this](const EthFrame& f) { rx_a.emplace_back(eng.now(), f); });
+    b = sw.add_port([this](const EthFrame& f) { rx_b.emplace_back(eng.now(), f); });
+  }
+};
+
+TEST(Ethernet, WireTimeAt100Mbps) {
+  sim::Engine eng;
+  EthernetSwitch sw{eng};
+  // 1462-byte payload + 38 overhead = 1500 bytes = 120 us at 100 Mbps —
+  // the "half an Ethernet frame time (~120us)" yardstick in §4.2.
+  EXPECT_NEAR(sw.wire_time(1462).to_us(), 120.0, 0.1);
+  EXPECT_NEAR(sw.wire_time(1000).to_us(), 83.0, 0.1);
+}
+
+TEST(Ethernet, StoreAndForwardDelivery) {
+  Fixture f;
+  f.sw.send(f.a, f.b, EthFrame{.bytes = 1000, .tag = 7});
+  f.eng.run();
+  ASSERT_EQ(f.rx_b.size(), 1u);
+  EXPECT_EQ(f.rx_b[0].second.tag, 7u);
+  EXPECT_EQ(f.rx_b[0].second.src_port, f.a);
+  // Two serializations + switch latency.
+  const double expect =
+      2 * f.sw.wire_time(1000).to_us() + f.sw.params().switch_latency.to_us();
+  EXPECT_NEAR(f.rx_b[0].first.to_us(), expect, 0.1);
+  EXPECT_TRUE(f.rx_a.empty());
+}
+
+TEST(Ethernet, UplinkQueueingBetweenFrames) {
+  Fixture f;
+  f.sw.send(f.a, f.b, EthFrame{.bytes = 1000, .tag = 1});
+  f.sw.send(f.a, f.b, EthFrame{.bytes = 1000, .tag = 2});
+  f.eng.run();
+  ASSERT_EQ(f.rx_b.size(), 2u);
+  const double gap = f.rx_b[1].first.to_us() - f.rx_b[0].first.to_us();
+  // Back-to-back frames are spaced by one serialization time.
+  EXPECT_NEAR(gap, f.sw.wire_time(1000).to_us(), 0.1);
+  EXPECT_EQ(f.rx_b[0].second.tag, 1u);
+  EXPECT_EQ(f.rx_b[1].second.tag, 2u);
+}
+
+TEST(Ethernet, DownlinkContentionFromTwoSenders) {
+  Fixture f;
+  const int c = f.sw.add_port([](const EthFrame&) {});
+  // a and c both send to b at t=0; the second arrival is delayed by b's
+  // downlink serialization of the first.
+  f.sw.send(f.a, f.b, EthFrame{.bytes = 1000, .tag = 1});
+  f.sw.send(c, f.b, EthFrame{.bytes = 1000, .tag = 2});
+  f.eng.run();
+  ASSERT_EQ(f.rx_b.size(), 2u);
+  const double gap = f.rx_b[1].first.to_us() - f.rx_b[0].first.to_us();
+  EXPECT_NEAR(gap, f.sw.wire_time(1000).to_us(), 0.1);
+}
+
+TEST(Ethernet, SeparatePortPairsDoNotInterfere) {
+  Fixture f;
+  std::vector<sim::Time> rx_d;
+  const int c = f.sw.add_port([](const EthFrame&) {});
+  const int d = f.sw.add_port([&](const EthFrame&) { rx_d.push_back(f.eng.now()); });
+  f.sw.send(f.a, f.b, EthFrame{.bytes = 1000});
+  f.sw.send(c, d, EthFrame{.bytes = 1000});
+  f.eng.run();
+  ASSERT_EQ(f.rx_b.size(), 1u);
+  ASSERT_EQ(rx_d.size(), 1u);
+  EXPECT_EQ(f.rx_b[0].first, rx_d[0]);  // identical, independent paths
+}
+
+TEST(Ethernet, PayloadSharedPtrSurvives) {
+  Fixture f;
+  auto body = std::make_shared<int>(42);
+  f.sw.send(f.a, f.b, EthFrame{.bytes = 64, .payload = body});
+  body.reset();
+  f.eng.run();
+  ASSERT_EQ(f.rx_b.size(), 1u);
+  const auto got = std::static_pointer_cast<int>(f.rx_b[0].second.payload);
+  ASSERT_TRUE(got);
+  EXPECT_EQ(*got, 42);
+}
+
+TEST(Ethernet, BytesSwitchedAccumulates) {
+  Fixture f;
+  f.sw.send(f.a, f.b, EthFrame{.bytes = 100});
+  f.sw.send(f.b, f.a, EthFrame{.bytes = 200});
+  f.eng.run();
+  EXPECT_EQ(f.sw.bytes_switched(), 300u);
+}
+
+}  // namespace
+}  // namespace nistream::hw

@@ -1,0 +1,81 @@
+// Tests for the PCI bus model: calibration against Table 5, exclusivity,
+// and queueing under contention.
+#include "hw/pci.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nistream::hw {
+namespace {
+
+TEST(Pci, Table5DmaCalibration) {
+  // Table 5: 773665-byte MPEG file DMA'd card-to-card in 11673.84 us.
+  sim::Engine eng;
+  PciBus bus{eng};
+  const sim::Time t = bus.dma_duration(773665);
+  EXPECT_NEAR(t.to_us(), 11673.84, /*tolerance=*/120.0);
+}
+
+TEST(Pci, Table5PioCosts) {
+  sim::Engine eng;
+  PciBus bus{eng};
+  EXPECT_DOUBLE_EQ(bus.pio_read_cost().to_us(), 3.6);
+  EXPECT_DOUBLE_EQ(bus.pio_write_cost().to_us(), 3.1);
+}
+
+TEST(Pci, ThousandByteFrameIsAbout15us) {
+  // Paper §4.2.2: "transfer time from I2O NI card to I2O NI card across the
+  // PCI bus is ~15 us for a single frame".
+  sim::Engine eng;
+  PciBus bus{eng};
+  EXPECT_NEAR(bus.dma_duration(1000).to_us(), 15.0, 1.0);
+}
+
+TEST(Pci, DmaCompletesAfterDuration) {
+  sim::Engine eng;
+  PciBus bus{eng};
+  bool done = false;
+  bus.dma_async(1000, [&] { done = true; });
+  eng.run();
+  EXPECT_TRUE(done);
+  EXPECT_NEAR(eng.now().to_us(), bus.dma_duration(1000).to_us(), 0.01);
+  EXPECT_EQ(bus.bytes_moved(), 1000u);
+  EXPECT_EQ(bus.transfers(), 1u);
+}
+
+TEST(Pci, ConcurrentDmasSerialize) {
+  sim::Engine eng;
+  PciBus bus{eng};
+  sim::Time first = sim::Time::never(), second = sim::Time::never();
+  bus.dma_async(1000, [&] { first = eng.now(); });
+  bus.dma_async(1000, [&] { second = eng.now(); });
+  eng.run();
+  const double one = bus.dma_duration(1000).to_us();
+  EXPECT_NEAR(first.to_us(), one, 0.01);
+  EXPECT_NEAR(second.to_us(), 2 * one, 0.01);  // had to wait for the bus
+  EXPECT_EQ(bus.transfers(), 2u);
+}
+
+TEST(Pci, BusyTimeTracksTransfers) {
+  sim::Engine eng;
+  PciBus bus{eng};
+  bus.dma_async(10000, [] {});
+  eng.run();
+  EXPECT_NEAR(bus.busy_time().to_us(), bus.dma_duration(10000).to_us(), 0.01);
+}
+
+TEST(Pci, CoroutineAwaitable) {
+  sim::Engine eng;
+  PciBus bus{eng};
+  sim::Time done_at = sim::Time::never();
+  auto proc = [&]() -> sim::Coro {
+    co_await bus.dma(500);
+    co_await bus.dma(500);
+    done_at = eng.now();
+  };
+  proc().detach();
+  eng.run();
+  EXPECT_NEAR(done_at.to_us(), 2 * bus.dma_duration(500).to_us(), 0.01);
+}
+
+}  // namespace
+}  // namespace nistream::hw

@@ -1,0 +1,87 @@
+// Tests for the SCSI disk model: Table 4 calibration (~4.2 ms per random
+// 1000-byte frame), sequential-access fast path, request serialization.
+#include "hw/scsi_disk.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nistream::hw {
+namespace {
+
+TEST(Scsi, RandomFrameReadAveragesFourPointTwoMs) {
+  sim::Engine eng;
+  ScsiDisk disk{eng};
+  // 1000 random (far-apart) 1000-byte reads, as in Table 4's methodology.
+  auto proc = [&]() -> sim::Coro {
+    for (int i = 0; i < 1000; ++i) {
+      co_await disk.read(static_cast<std::uint64_t>(i) * 10'000'000, 1000);
+    }
+  };
+  proc().detach();
+  eng.run();
+  EXPECT_EQ(disk.requests(), 1000u);
+  EXPECT_NEAR(disk.latency_ms().mean(), 4.2, 0.15);  // "4.2disk"
+}
+
+TEST(Scsi, SequentialReadSkipsSeek) {
+  sim::Engine eng;
+  ScsiDisk disk{eng};
+  auto proc = [&]() -> sim::Coro {
+    co_await disk.read(0, 1000);  // positions the head
+    for (int i = 1; i < 100; ++i) {
+      co_await disk.read(static_cast<std::uint64_t>(i) * 1000, 1000);
+    }
+  };
+  proc().detach();
+  eng.run();
+  // After the first read, each sequential read costs overhead+transfer only:
+  // 0.3 ms + 0.1 ms = 0.4 ms.
+  const double seq_mean =
+      (disk.latency_ms().sum() - disk.latency_ms().max()) / 99.0;
+  EXPECT_NEAR(seq_mean, 0.4, 0.05);
+}
+
+TEST(Scsi, BackwardJumpPaysSeek) {
+  sim::Engine eng;
+  ScsiDisk disk{eng};
+  std::vector<double> lat;
+  auto proc = [&]() -> sim::Coro {
+    co_await disk.read(50'000'000, 1000);
+    const double before = disk.latency_ms().sum();
+    co_await disk.read(0, 1000);  // far backward
+    lat.push_back(disk.latency_ms().sum() - before);
+  };
+  proc().detach();
+  eng.run();
+  ASSERT_EQ(lat.size(), 1u);
+  EXPECT_GT(lat[0], 0.7);  // more than overhead+transfer: a real seek
+}
+
+TEST(Scsi, RequestsSerializeOnTheDrive) {
+  sim::Engine eng;
+  ScsiDisk disk{eng};
+  sim::Time first = sim::Time::never(), second = sim::Time::never();
+  disk.read_async(0, 1000, [&] { first = eng.now(); });
+  disk.read_async(100'000'000, 1000, [&] { second = eng.now(); });
+  eng.run();
+  EXPECT_LT(first, second);
+  EXPECT_GT(second.to_ms(), first.to_ms() + 0.3);  // waited for the drive
+  EXPECT_EQ(disk.bytes_read(), 2000u);
+}
+
+TEST(Scsi, DeterministicAcrossRuns) {
+  auto run = [] {
+    sim::Engine eng;
+    ScsiDisk disk{eng, kScsiDisk, /*seed=*/7};
+    auto proc = [&]() -> sim::Coro {
+      for (int i = 0; i < 50; ++i) {
+        co_await disk.read(static_cast<std::uint64_t>(i) * 5'000'000, 1000);
+      }
+    };
+    proc().detach();
+    return eng.run();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace nistream::hw

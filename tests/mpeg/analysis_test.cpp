@@ -1,0 +1,96 @@
+// Tests for the MPEG stream analyzer and the smoothing-buffer simulation.
+#include "mpeg/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mpeg/encoder.hpp"
+
+namespace nistream::mpeg {
+namespace {
+
+TEST(Analysis, SyntheticStreamProfile) {
+  SyntheticEncoder enc{{.gop = {.n = 12, .m = 3}, .seed = 17}};
+  const auto file = enc.generate(240);
+  const auto a = analyze(file.frames, file.fps);
+  EXPECT_EQ(a.frames, 240u);
+  EXPECT_TRUE(a.gop_structure_valid);
+  EXPECT_EQ(a.detected_gop_length, 12);
+  EXPECT_EQ(a.of(FrameType::kI).count, 20u);
+  EXPECT_EQ(a.of(FrameType::kP).count, 60u);
+  EXPECT_EQ(a.of(FrameType::kB).count, 160u);
+  // Size ordering I > P > B holds in the means.
+  EXPECT_GT(a.of(FrameType::kI).mean_bytes(), a.of(FrameType::kP).mean_bytes());
+  EXPECT_GT(a.of(FrameType::kP).mean_bytes(), a.of(FrameType::kB).mean_bytes());
+  EXPECT_NEAR(a.mean_bitrate_bps, file.bitrate_bps(), 1.0);
+  // The peak 1-second window exceeds the mean (I-frame bursts).
+  EXPECT_GT(a.peak_window_bitrate_bps, a.mean_bitrate_bps);
+}
+
+TEST(Analysis, IrregularGopDetected) {
+  std::vector<FrameInfo> frames;
+  for (int i = 0; i < 30; ++i) {
+    frames.push_back(FrameInfo{
+        .type = (i == 0 || i == 10 || i == 25) ? FrameType::kI : FrameType::kP,
+        .bytes = 1000,
+        .display_index = static_cast<std::uint32_t>(i)});
+  }
+  const auto a = analyze(frames, 30.0);
+  EXPECT_FALSE(a.gop_structure_valid);  // 10 vs 15 spacing
+  EXPECT_EQ(a.detected_gop_length, 0);
+}
+
+TEST(Analysis, MissingLeadingIFrameInvalid) {
+  std::vector<FrameInfo> frames;
+  for (int i = 0; i < 24; ++i) {
+    frames.push_back(FrameInfo{
+        .type = (i % 12 == 5) ? FrameType::kI : FrameType::kP, .bytes = 500});
+  }
+  EXPECT_FALSE(analyze(frames, 30.0).gop_structure_valid);
+}
+
+TEST(Analysis, EmptyStream) {
+  const auto a = analyze({}, 30.0);
+  EXPECT_EQ(a.frames, 0u);
+  EXPECT_EQ(a.mean_bitrate_bps, 0.0);
+  EXPECT_FALSE(a.gop_structure_valid);
+}
+
+TEST(BufferSim, ConstantStreamAtMatchedRateNeedsOneFrame) {
+  std::vector<FrameInfo> frames(100, FrameInfo{.type = FrameType::kP,
+                                               .bytes = 1000});
+  // Drain exactly at the arrival rate: 1000 B/frame at 30 fps = 240 kbps.
+  const auto r = simulate_smoothing_buffer(frames, 30.0, 240e3);
+  EXPECT_EQ(r.peak_occupancy_bytes, 1000u);
+  EXPECT_FALSE(r.underrun);
+}
+
+TEST(BufferSim, BurstyStreamNeedsBuffer) {
+  SyntheticEncoder enc{{.seed = 23}};
+  const auto file = enc.generate(300);
+  const auto a = analyze(file.frames, file.fps);
+  const auto r =
+      simulate_smoothing_buffer(file.frames, file.fps, a.mean_bitrate_bps);
+  // At the mean rate the I-frame bursts require several frames of buffering.
+  EXPECT_GT(r.peak_occupancy_bytes, 2 * a.of(FrameType::kI).mean_bytes());
+}
+
+TEST(BufferSim, OverdrainUnderruns) {
+  std::vector<FrameInfo> frames(50, FrameInfo{.type = FrameType::kP,
+                                              .bytes = 1000});
+  const auto r = simulate_smoothing_buffer(frames, 30.0, 10 * 240e3);
+  EXPECT_TRUE(r.underrun);
+}
+
+TEST(BufferSim, HigherDrainRateNeedsSmallerBuffer) {
+  SyntheticEncoder enc{{.seed = 29}};
+  const auto file = enc.generate(300);
+  const auto a = analyze(file.frames, file.fps);
+  const auto tight =
+      simulate_smoothing_buffer(file.frames, file.fps, a.mean_bitrate_bps);
+  const auto roomy = simulate_smoothing_buffer(file.frames, file.fps,
+                                               1.5 * a.mean_bitrate_bps);
+  EXPECT_LT(roomy.peak_occupancy_bytes, tight.peak_occupancy_bytes);
+}
+
+}  // namespace
+}  // namespace nistream::mpeg

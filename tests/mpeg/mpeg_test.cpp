@@ -1,0 +1,158 @@
+// Tests for the synthetic MPEG-1 encoder and the segmenter, including the
+// encode->segment round-trip property.
+#include <gtest/gtest.h>
+
+#include "mpeg/encoder.hpp"
+#include "mpeg/segmenter.hpp"
+
+namespace nistream::mpeg {
+namespace {
+
+TEST(Gop, ClassicPatternIbbp) {
+  GopPattern gop{.n = 12, .m = 3};
+  EXPECT_EQ(gop.to_string(), "IBBPBBPBBPBB");
+  EXPECT_EQ(gop.type_of(0), FrameType::kI);
+  EXPECT_EQ(gop.type_of(3), FrameType::kP);
+  EXPECT_EQ(gop.type_of(4), FrameType::kB);
+}
+
+TEST(Gop, IppPattern) {
+  GopPattern gop{.n = 6, .m = 1};  // no B frames
+  EXPECT_EQ(gop.to_string(), "IPPPPP");
+}
+
+TEST(Encoder, FrameCountAndTypes) {
+  SyntheticEncoder enc{{.gop = {.n = 12, .m = 3}, .seed = 7}};
+  const MpegFile file = enc.generate(120);
+  ASSERT_EQ(file.frames.size(), 120u);
+  int i_count = 0, p_count = 0, b_count = 0;
+  for (const auto& f : file.frames) {
+    switch (f.type) {
+      case FrameType::kI: ++i_count; break;
+      case FrameType::kP: ++p_count; break;
+      case FrameType::kB: ++b_count; break;
+    }
+  }
+  EXPECT_EQ(i_count, 10);  // one per GOP
+  EXPECT_EQ(p_count, 30);  // three per GOP
+  EXPECT_EQ(b_count, 80);  // eight per GOP
+}
+
+TEST(Encoder, SizeOrderingIpb) {
+  SyntheticEncoder enc{{.seed = 11}};
+  const MpegFile file = enc.generate(600);
+  double i_sum = 0, p_sum = 0, b_sum = 0;
+  int i_n = 0, p_n = 0, b_n = 0;
+  for (const auto& f : file.frames) {
+    switch (f.type) {
+      case FrameType::kI: i_sum += f.bytes; ++i_n; break;
+      case FrameType::kP: p_sum += f.bytes; ++p_n; break;
+      case FrameType::kB: b_sum += f.bytes; ++b_n; break;
+    }
+  }
+  EXPECT_GT(i_sum / i_n, 1.5 * p_sum / p_n);
+  EXPECT_GT(p_sum / p_n, 1.5 * b_sum / b_n);
+}
+
+TEST(Encoder, BitrateInRealisticRange) {
+  SyntheticEncoder enc{{.seed = 3}};
+  const MpegFile file = enc.generate(300);
+  // Defaults model a ~1.3 Mbit/s MPEG-1 stream.
+  EXPECT_GT(file.bitrate_bps(), 0.8e6);
+  EXPECT_LT(file.bitrate_bps(), 2.0e6);
+}
+
+TEST(Encoder, DeterministicPerSeed) {
+  SyntheticEncoder a{{.seed = 42}}, b{{.seed = 42}}, c{{.seed = 43}};
+  const auto fa = a.generate(50), fb = b.generate(50), fc = c.generate(50);
+  EXPECT_EQ(fa.bitstream, fb.bitstream);
+  EXPECT_NE(fa.bitstream, fc.bitstream);
+}
+
+TEST(Encoder, PtsAdvancesAtFps) {
+  SyntheticEncoder enc{{.fps = 30.0, .seed = 1}};
+  const auto file = enc.generate(61);
+  EXPECT_DOUBLE_EQ(file.frames[0].pts_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(file.frames[30].pts_seconds, 1.0);
+  EXPECT_DOUBLE_EQ(file.frames[60].pts_seconds, 2.0);
+}
+
+TEST(Segmenter, FindStartCode) {
+  const std::vector<std::uint8_t> data{0xFF, 0x00, 0x00, 0x01, 0xB3, 0x10};
+  const auto at = Segmenter::find_start_code(data, 0);
+  ASSERT_TRUE(at.has_value());
+  EXPECT_EQ(*at, 1u);
+  EXPECT_FALSE(Segmenter::find_start_code(data, 2).has_value());
+}
+
+TEST(Segmenter, EmptyAndTinyInputs) {
+  EXPECT_TRUE(Segmenter::segment({}).empty());
+  const std::vector<std::uint8_t> tiny{0x00, 0x00};
+  EXPECT_TRUE(Segmenter::segment(tiny).empty());
+}
+
+// The paper's workflow: encode a file, segment it, and get back exactly the
+// frames that were encoded — types, sizes and order.
+TEST(SegmenterProperty, RoundTripMatchesEncoder) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    SyntheticEncoder enc{{.gop = {.n = 12, .m = 3}, .seed = seed}};
+    const MpegFile file = enc.generate(150);
+    const auto segments = Segmenter::segment(file.bitstream);
+    ASSERT_EQ(segments.size(), file.frames.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < segments.size(); ++i) {
+      EXPECT_EQ(segments[i].type, file.frames[i].type) << "frame " << i;
+      EXPECT_EQ(segments[i].bytes, file.frames[i].bytes) << "frame " << i;
+    }
+    // Segments tile the stream except at GOP boundaries, where the 8-byte
+    // GOP header sits between the previous picture and the next.
+    for (std::size_t i = 1; i < segments.size(); ++i) {
+      const auto prev_end = segments[i - 1].offset + segments[i - 1].bytes;
+      if (i % 12 == 0) {
+        EXPECT_EQ(segments[i].offset, prev_end + 8) << "frame " << i;
+      } else {
+        EXPECT_EQ(segments[i].offset, prev_end) << "frame " << i;
+      }
+    }
+  }
+}
+
+TEST(Segmenter, TemporalReferenceDecoded) {
+  SyntheticEncoder enc{{.gop = {.n = 12, .m = 3}, .seed = 9}};
+  const MpegFile file = enc.generate(24);
+  const auto segments = Segmenter::segment(file.bitstream);
+  ASSERT_EQ(segments.size(), 24u);
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    EXPECT_EQ(segments[i].temporal_ref, i % 12) << "frame " << i;
+  }
+}
+
+TEST(Segmenter, TruncatedStreamYieldsCompleteFramesOnly) {
+  SyntheticEncoder enc{{.seed = 5}};
+  const MpegFile file = enc.generate(20);
+  // Cut the stream in the middle of the last picture.
+  std::vector<std::uint8_t> cut{file.bitstream.begin(),
+                                file.bitstream.end() - 100};
+  const auto segments = Segmenter::segment(cut);
+  // 19 complete frames plus the truncated 20th (delimited by end of data).
+  EXPECT_GE(segments.size(), 19u);
+  EXPECT_LE(segments.size(), 20u);
+  for (std::size_t i = 0; i + 1 < 19; ++i) {
+    EXPECT_EQ(segments[i].bytes, file.frames[i].bytes);
+  }
+}
+
+TEST(Segmenter, GarbageInputProducesNothing) {
+  std::vector<std::uint8_t> garbage(10000, 0xAA);
+  EXPECT_TRUE(Segmenter::segment(garbage).empty());
+}
+
+TEST(MpegFile, Aggregates) {
+  SyntheticEncoder enc{{.seed = 2}};
+  const auto file = enc.generate(100);
+  EXPECT_EQ(file.total_frame_bytes(),
+            static_cast<std::uint64_t>(file.mean_frame_bytes() * 100 + 0.5));
+  EXPECT_GT(file.total_frame_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace nistream::mpeg

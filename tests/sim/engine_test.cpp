@@ -1,0 +1,189 @@
+// Unit tests for the discrete-event engine: ordering, tie-breaking,
+// cancellation, run_until semantics and determinism.
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace nistream::sim {
+namespace {
+
+TEST(Time, Constructors) {
+  EXPECT_EQ(Time::us(1).raw_ns(), 1000);
+  EXPECT_EQ(Time::ms(1).raw_ns(), 1000000);
+  EXPECT_EQ(Time::sec(1).raw_ns(), 1000000000);
+  EXPECT_EQ(Time::ns(7).raw_ns(), 7);
+  EXPECT_EQ(Time::zero().raw_ns(), 0);
+}
+
+TEST(Time, CycleConversionRoundsToNearest) {
+  // 1 cycle at 66 MHz = 15.1515... ns -> 15 ns.
+  EXPECT_EQ(Time::cycles(1, 66e6).raw_ns(), 15);
+  // 66e6 cycles at 66 MHz = exactly 1 s.
+  EXPECT_EQ(Time::cycles(66'000'000, 66e6).raw_ns(), 1'000'000'000);
+  // 2 cycles at 66 MHz = 30.30 ns -> 30 ns.
+  EXPECT_EQ(Time::cycles(2, 66e6).raw_ns(), 30);
+}
+
+TEST(Time, Arithmetic) {
+  const Time a = Time::us(10), b = Time::us(4);
+  EXPECT_EQ((a + b).to_us(), 14.0);
+  EXPECT_EQ((a - b).to_us(), 6.0);
+  EXPECT_EQ((a * 3).to_us(), 30.0);
+  EXPECT_DOUBLE_EQ(a / b, 2.5);
+  EXPECT_LT(b, a);
+  EXPECT_EQ(a, Time::us(10));
+}
+
+TEST(Engine, ExecutesInTimeOrder) {
+  Engine eng;
+  std::vector<int> order;
+  eng.schedule_at(Time::us(30), [&] { order.push_back(3); });
+  eng.schedule_at(Time::us(10), [&] { order.push_back(1); });
+  eng.schedule_at(Time::us(20), [&] { order.push_back(2); });
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(eng.now(), Time::us(30));
+}
+
+TEST(Engine, SameInstantIsFifo) {
+  Engine eng;
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    eng.schedule_at(Time::us(5), [&order, i] { order.push_back(i); });
+  }
+  eng.run();
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Engine, ScheduleInIsRelative) {
+  Engine eng;
+  Time fired = Time::never();
+  eng.schedule_at(Time::us(10), [&] {
+    eng.schedule_in(Time::us(5), [&] { fired = eng.now(); });
+  });
+  eng.run();
+  EXPECT_EQ(fired, Time::us(15));
+}
+
+TEST(Engine, SchedulingInThePastThrows) {
+  Engine eng;
+  eng.schedule_at(Time::us(10), [] {});
+  eng.run();
+  EXPECT_THROW(eng.schedule_at(Time::us(5), [] {}), std::logic_error);
+}
+
+TEST(Engine, CancelPreventsExecution) {
+  Engine eng;
+  bool fired = false;
+  auto h = eng.schedule_at(Time::us(10), [&] { fired = true; });
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  eng.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Engine, CancelAfterFireIsNoop) {
+  Engine eng;
+  int count = 0;
+  auto h = eng.schedule_at(Time::us(1), [&] { ++count; });
+  eng.run();
+  h.cancel();
+  EXPECT_EQ(count, 1);
+  EXPECT_FALSE(h.pending());
+}
+
+TEST(Engine, RunUntilStopsAtDeadlineInclusive) {
+  Engine eng;
+  std::vector<int> order;
+  eng.schedule_at(Time::us(10), [&] { order.push_back(1); });
+  eng.schedule_at(Time::us(20), [&] { order.push_back(2); });
+  eng.schedule_at(Time::us(30), [&] { order.push_back(3); });
+  eng.run_until(Time::us(20));
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(eng.now(), Time::us(20));
+  eng.run();
+  EXPECT_EQ(order.size(), 3u);
+}
+
+TEST(Engine, RunUntilAdvancesClockPastEmptyQueue) {
+  Engine eng;
+  eng.run_until(Time::ms(5));
+  EXPECT_EQ(eng.now(), Time::ms(5));
+}
+
+TEST(Engine, EventsScheduledDuringRunExecute) {
+  Engine eng;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) eng.schedule_in(Time::us(1), chain);
+  };
+  eng.schedule_at(Time::zero(), chain);
+  eng.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(eng.now(), Time::us(99));
+  EXPECT_EQ(eng.events_executed(), 100u);
+}
+
+TEST(Engine, StepExecutesExactlyOne) {
+  Engine eng;
+  int count = 0;
+  eng.schedule_at(Time::us(1), [&] { ++count; });
+  eng.schedule_at(Time::us(2), [&] { ++count; });
+  EXPECT_TRUE(eng.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(eng.step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(eng.step());
+}
+
+// Property: against a brute-force reference model, random schedule/cancel
+// sequences execute exactly the non-cancelled events in (time, insertion)
+// order.
+TEST(EngineProperty, MatchesReferenceModel) {
+  struct Ref {
+    std::int64_t at_us;
+    std::uint64_t seq;
+    bool cancelled = false;
+  };
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    Engine eng;
+    std::vector<Ref> ref;
+    std::vector<EventHandle> handles;
+    std::vector<std::uint64_t> fired;
+    std::uint64_t lcg = seed * 2654435761u;
+    const auto rnd = [&lcg](std::uint64_t n) {
+      lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+      return (lcg >> 33) % n;
+    };
+    for (std::uint64_t i = 0; i < 500; ++i) {
+      const auto at = static_cast<std::int64_t>(rnd(1000));
+      ref.push_back(Ref{at, i});
+      handles.push_back(eng.schedule_at(
+          Time::us(static_cast<double>(at)), [&fired, i] { fired.push_back(i); }));
+      if (rnd(5) == 0 && !handles.empty()) {
+        const auto victim = rnd(handles.size());
+        handles[victim].cancel();
+        ref[victim].cancelled = true;
+      }
+    }
+    eng.run();
+    std::vector<std::uint64_t> expect;
+    std::vector<const Ref*> live;
+    for (const auto& r : ref) {
+      if (!r.cancelled) live.push_back(&r);
+    }
+    std::stable_sort(live.begin(), live.end(), [](const Ref* a, const Ref* b) {
+      if (a->at_us != b->at_us) return a->at_us < b->at_us;
+      return a->seq < b->seq;
+    });
+    for (const auto* r : live) expect.push_back(r->seq);
+    ASSERT_EQ(fired, expect) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace nistream::sim

@@ -1,0 +1,103 @@
+// Tests for the deterministic RNG: reproducibility, independence of forks,
+// and sanity of the distribution generators.
+#include "sim/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace nistream::sim {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a{123}, b{123};
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a{1}, b{2};
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng r{7};
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng r{7};
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BelowIsBounded) {
+  Rng r{11};
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = r.below(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all values hit
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r{13};
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r{17};
+  double sum = 0, sq = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double v = r.normal(10.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(sq / n - mean * mean), 2.0, 0.05);
+}
+
+TEST(Rng, LognormalPositive) {
+  Rng r{19};
+  for (int i = 0; i < 10000; ++i) EXPECT_GT(r.lognormal(0.0, 1.0), 0.0);
+}
+
+TEST(Rng, ChanceProbability) {
+  Rng r{23};
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += r.chance(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ForkIsIndependentButDeterministic) {
+  Rng a{99};
+  Rng fork1 = a.fork();
+  Rng b{99};
+  Rng fork2 = b.fork();
+  // Same parent state -> same fork sequence.
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(fork1.next_u64(), fork2.next_u64());
+  // Fork differs from parent's continued stream.
+  Rng c{99};
+  Rng fork3 = c.fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (fork3.next_u64() == c.next_u64());
+  EXPECT_EQ(same, 0);
+}
+
+}  // namespace
+}  // namespace nistream::sim

@@ -1,0 +1,131 @@
+// Tests for the measurement primitives: RunningStat, SampleSet, TimeSeries,
+// RateMeter and UtilizationMeter.
+#include "sim/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace nistream::sim {
+namespace {
+
+TEST(RunningStat, BasicMoments) {
+  RunningStat s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);  // sample stddev
+}
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(SampleSet, Quantiles) {
+  SampleSet s;
+  for (int i = 100; i >= 1; --i) s.add(i);  // 1..100 reversed
+  EXPECT_DOUBLE_EQ(s.median(), 51.0);       // nearest-rank: idx round(49.5+0.5)
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 100.0);
+  EXPECT_NEAR(s.quantile(0.9), 90.0, 1.0);
+}
+
+TEST(TimeSeries, MeanBetweenAndValueAt) {
+  TimeSeries ts{"bw"};
+  ts.add(Time::ms(10), 100.0);
+  ts.add(Time::ms(20), 200.0);
+  ts.add(Time::ms(30), 300.0);
+  EXPECT_DOUBLE_EQ(ts.mean_between(Time::ms(15), Time::ms(30)), 250.0);
+  EXPECT_DOUBLE_EQ(ts.mean_between(Time::zero(), Time::ms(100)), 200.0);
+  EXPECT_DOUBLE_EQ(ts.value_at(Time::ms(25)), 200.0);
+  EXPECT_DOUBLE_EQ(ts.value_at(Time::ms(5)), 0.0);
+}
+
+TEST(TimeSeries, CsvFormat) {
+  TimeSeries ts{"x"};
+  ts.add(Time::ms(1), 5.0);
+  std::ostringstream os;
+  ts.write_csv(os, "bps");
+  EXPECT_EQ(os.str(), "time_ms,bps\n1,5\n");
+}
+
+TEST(RateMeter, SteadyRate) {
+  // 1000 bytes every 10 ms = 800 kbit/s.
+  RateMeter rm{Time::ms(100), Time::ms(100)};
+  for (int i = 0; i < 100; ++i) rm.record(Time::ms(10 * i), 1000);
+  rm.finish(Time::sec(1));
+  ASSERT_FALSE(rm.series().points().empty());
+  // Skip the first window (ramp-in) and the final one (the stream stops at
+  // t=990 ms, so the last window only holds 9 events); expect 800 kbps steady.
+  const auto& pts = rm.series().points();
+  ASSERT_GE(pts.size(), 3u);
+  for (std::size_t i = 1; i + 1 < pts.size(); ++i) {
+    EXPECT_NEAR(pts[i].second, 800e3, 1e3) << "at sample " << i;
+  }
+  EXPECT_EQ(rm.total_bytes(), 100'000u);
+}
+
+TEST(RateMeter, DropsToZeroWhenIdle) {
+  RateMeter rm{Time::ms(50), Time::ms(50)};
+  rm.record(Time::ms(10), 5000);
+  rm.finish(Time::ms(500));
+  const auto& pts = rm.series().points();
+  ASSERT_GE(pts.size(), 3u);
+  EXPECT_GT(pts.front().second, 0.0);
+  EXPECT_DOUBLE_EQ(pts.back().second, 0.0);
+}
+
+TEST(UtilizationMeter, FullyBusyIs100Percent) {
+  UtilizationMeter um{Time::ms(10)};
+  um.add_busy(Time::zero(), Time::ms(100));
+  auto ts = um.sample(Time::ms(100));
+  ASSERT_EQ(ts.points().size(), 10u);
+  for (const auto& [t, v] : ts.points()) EXPECT_DOUBLE_EQ(v, 100.0);
+}
+
+TEST(UtilizationMeter, HalfBusyIs50Percent) {
+  UtilizationMeter um{Time::ms(10)};
+  // Busy 5 ms of every 10 ms.
+  for (int i = 0; i < 10; ++i) {
+    um.add_busy(Time::ms(10 * i), Time::ms(10 * i + 5));
+  }
+  auto ts = um.sample(Time::ms(100));
+  for (const auto& [t, v] : ts.points()) EXPECT_DOUBLE_EQ(v, 50.0);
+  EXPECT_EQ(um.total_busy(), Time::ms(50));
+}
+
+TEST(UtilizationMeter, CapacityScalesMultiCpu) {
+  UtilizationMeter um{Time::ms(10)};
+  um.add_busy(Time::zero(), Time::ms(10));  // one CPU's worth
+  auto ts = um.sample(Time::ms(10), /*capacity=*/2.0);
+  ASSERT_EQ(ts.points().size(), 1u);
+  EXPECT_DOUBLE_EQ(ts.points()[0].second, 50.0);  // half of a 2-CPU machine
+}
+
+TEST(UtilizationMeter, MergesContiguousIntervals) {
+  UtilizationMeter um{Time::ms(10)};
+  um.add_busy(Time::ms(0), Time::ms(3));
+  um.add_busy(Time::ms(3), Time::ms(7));  // abuts previous
+  auto ts = um.sample(Time::ms(10));
+  ASSERT_EQ(ts.points().size(), 1u);
+  EXPECT_DOUBLE_EQ(ts.points()[0].second, 70.0);
+}
+
+TEST(UtilizationMeter, BusySpanningBuckets) {
+  UtilizationMeter um{Time::ms(10)};
+  um.add_busy(Time::ms(5), Time::ms(15));
+  auto ts = um.sample(Time::ms(20));
+  ASSERT_EQ(ts.points().size(), 2u);
+  EXPECT_DOUBLE_EQ(ts.points()[0].second, 50.0);
+  EXPECT_DOUBLE_EQ(ts.points()[1].second, 50.0);
+}
+
+}  // namespace
+}  // namespace nistream::sim

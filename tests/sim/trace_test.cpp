@@ -1,0 +1,67 @@
+// Tests for the structured trace sink.
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace nistream::sim {
+namespace {
+
+TEST(Trace, RecordsAndCounts) {
+  Trace t;
+  t.record(Time::ms(1), "dwcs", "dispatch", 1, 10, 5.0);
+  t.record(Time::ms(2), "dwcs", "drop", 1, 11);
+  t.record(Time::ms(3), "net", "send", 2, 12);
+  EXPECT_EQ(t.total_recorded(), 3u);
+  EXPECT_EQ(t.count("dwcs"), 2u);
+  EXPECT_EQ(t.count("dwcs", "drop"), 1u);
+  EXPECT_EQ(t.count("net"), 1u);
+  EXPECT_EQ(t.count("nothing"), 0u);
+}
+
+TEST(Trace, BoundedCapacityDropsOldest) {
+  Trace t{3};
+  for (int i = 0; i < 5; ++i) {
+    t.record(Time::ms(i), "c", "l", static_cast<std::uint64_t>(i));
+  }
+  EXPECT_EQ(t.records().size(), 3u);
+  EXPECT_EQ(t.records().front().a, 2u);  // 0 and 1 fell off
+  EXPECT_EQ(t.dropped_oldest(), 2u);
+  EXPECT_EQ(t.total_recorded(), 5u);
+}
+
+TEST(Trace, CsvFormat) {
+  Trace t;
+  t.record(Time::ms(1.5), "dwcs", "dispatch", 7, 8, 2.5);
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(),
+            "time_ms,category,label,a,b,value\n1.5,dwcs,dispatch,7,8,2.5\n");
+}
+
+TEST(Trace, SinkOffIsFree) {
+  TraceSink off;
+  EXPECT_FALSE(off.enabled());
+  off.record(Time::ms(1), "x", "y");  // must be a harmless no-op
+}
+
+TEST(Trace, SinkOnForwards) {
+  Trace t;
+  TraceSink sink{&t};
+  EXPECT_TRUE(sink.enabled());
+  sink.record(Time::ms(1), "x", "y", 1, 2, 3.0);
+  EXPECT_EQ(t.total_recorded(), 1u);
+  EXPECT_EQ(t.records().front().value, 3.0);
+}
+
+TEST(Trace, ClearResetsRecordsOnly) {
+  Trace t;
+  t.record(Time::ms(1), "a", "b");
+  t.clear();
+  EXPECT_TRUE(t.records().empty());
+  EXPECT_EQ(t.total_recorded(), 1u);
+}
+
+}  // namespace
+}  // namespace nistream::sim
