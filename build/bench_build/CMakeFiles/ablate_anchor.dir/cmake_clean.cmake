@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_anchor"
+  "../bench/ablate_anchor.pdb"
+  "CMakeFiles/ablate_anchor.dir/ablate_anchor.cpp.o"
+  "CMakeFiles/ablate_anchor.dir/ablate_anchor.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_anchor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_arith"
+  "../bench/ablate_arith.pdb"
+  "CMakeFiles/ablate_arith.dir/ablate_arith.cpp.o"
+  "CMakeFiles/ablate_arith.dir/ablate_arith.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_arith.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_cluster"
+  "../bench/ablate_cluster.pdb"
+  "CMakeFiles/ablate_cluster.dir/ablate_cluster.cpp.o"
+  "CMakeFiles/ablate_cluster.dir/ablate_cluster.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

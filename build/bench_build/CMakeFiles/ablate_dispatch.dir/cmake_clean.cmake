@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_dispatch"
+  "../bench/ablate_dispatch.pdb"
+  "CMakeFiles/ablate_dispatch.dir/ablate_dispatch.cpp.o"
+  "CMakeFiles/ablate_dispatch.dir/ablate_dispatch.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_dispatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

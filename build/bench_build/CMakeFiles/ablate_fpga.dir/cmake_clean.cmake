@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_fpga"
+  "../bench/ablate_fpga.pdb"
+  "CMakeFiles/ablate_fpga.dir/ablate_fpga.cpp.o"
+  "CMakeFiles/ablate_fpga.dir/ablate_fpga.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_fpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

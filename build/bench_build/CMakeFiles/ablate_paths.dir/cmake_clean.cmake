@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_paths"
+  "../bench/ablate_paths.pdb"
+  "CMakeFiles/ablate_paths.dir/ablate_paths.cpp.o"
+  "CMakeFiles/ablate_paths.dir/ablate_paths.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_policy"
+  "../bench/ablate_policy.pdb"
+  "CMakeFiles/ablate_policy.dir/ablate_policy.cpp.o"
+  "CMakeFiles/ablate_policy.dir/ablate_policy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_repr"
+  "../bench/ablate_repr.pdb"
+  "CMakeFiles/ablate_repr.dir/ablate_repr.cpp.o"
+  "CMakeFiles/ablate_repr.dir/ablate_repr.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_repr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

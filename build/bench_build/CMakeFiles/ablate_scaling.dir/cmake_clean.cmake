@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_scaling"
+  "../bench/ablate_scaling.pdb"
+  "CMakeFiles/ablate_scaling.dir/ablate_scaling.cpp.o"
+  "CMakeFiles/ablate_scaling.dir/ablate_scaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

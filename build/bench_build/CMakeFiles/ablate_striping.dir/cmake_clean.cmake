@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablate_striping"
+  "../bench/ablate_striping.pdb"
+  "CMakeFiles/ablate_striping.dir/ablate_striping.cpp.o"
+  "CMakeFiles/ablate_striping.dir/ablate_striping.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_striping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_ni_qdelay"
+  "../bench/fig10_ni_qdelay.pdb"
+  "CMakeFiles/fig10_ni_qdelay.dir/fig10_ni_qdelay.cpp.o"
+  "CMakeFiles/fig10_ni_qdelay.dir/fig10_ni_qdelay.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_ni_qdelay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

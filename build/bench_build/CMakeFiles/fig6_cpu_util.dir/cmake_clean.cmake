@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_cpu_util"
+  "../bench/fig6_cpu_util.pdb"
+  "CMakeFiles/fig6_cpu_util.dir/fig6_cpu_util.cpp.o"
+  "CMakeFiles/fig6_cpu_util.dir/fig6_cpu_util.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_cpu_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_host_bandwidth"
+  "../bench/fig7_host_bandwidth.pdb"
+  "CMakeFiles/fig7_host_bandwidth.dir/fig7_host_bandwidth.cpp.o"
+  "CMakeFiles/fig7_host_bandwidth.dir/fig7_host_bandwidth.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_host_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_host_qdelay"
+  "../bench/fig8_host_qdelay.pdb"
+  "CMakeFiles/fig8_host_qdelay.dir/fig8_host_qdelay.cpp.o"
+  "CMakeFiles/fig8_host_qdelay.dir/fig8_host_qdelay.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_host_qdelay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

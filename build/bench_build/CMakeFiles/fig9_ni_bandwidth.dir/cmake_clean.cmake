@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_ni_bandwidth"
+  "../bench/fig9_ni_bandwidth.pdb"
+  "CMakeFiles/fig9_ni_bandwidth.dir/fig9_ni_bandwidth.cpp.o"
+  "CMakeFiles/fig9_ni_bandwidth.dir/fig9_ni_bandwidth.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_ni_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/headline_overhead"
+  "../bench/headline_overhead.pdb"
+  "CMakeFiles/headline_overhead.dir/headline_overhead.cpp.o"
+  "CMakeFiles/headline_overhead.dir/headline_overhead.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/headline_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/native_dwcs_bench"
+  "../bench/native_dwcs_bench.pdb"
+  "CMakeFiles/native_dwcs_bench.dir/native_dwcs_bench.cpp.o"
+  "CMakeFiles/native_dwcs_bench.dir/native_dwcs_bench.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/native_dwcs_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

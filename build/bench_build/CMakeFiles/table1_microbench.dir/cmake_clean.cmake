@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_microbench"
+  "../bench/table1_microbench.pdb"
+  "CMakeFiles/table1_microbench.dir/table1_microbench.cpp.o"
+  "CMakeFiles/table1_microbench.dir/table1_microbench.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_hwqueue"
+  "../bench/table3_hwqueue.pdb"
+  "CMakeFiles/table3_hwqueue.dir/table3_hwqueue.cpp.o"
+  "CMakeFiles/table3_hwqueue.dir/table3_hwqueue.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_hwqueue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

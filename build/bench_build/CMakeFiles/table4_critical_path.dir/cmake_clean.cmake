@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_critical_path"
+  "../bench/table4_critical_path.pdb"
+  "CMakeFiles/table4_critical_path.dir/table4_critical_path.cpp.o"
+  "CMakeFiles/table4_critical_path.dir/table4_critical_path.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_critical_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

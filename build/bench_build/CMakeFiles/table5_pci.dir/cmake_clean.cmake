@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table5_pci"
+  "../bench/table5_pci.pdb"
+  "CMakeFiles/table5_pci.dir/table5_pci.cpp.o"
+  "CMakeFiles/table5_pci.dir/table5_pci.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_pci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

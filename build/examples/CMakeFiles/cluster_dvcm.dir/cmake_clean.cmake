@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_dvcm.dir/cluster_dvcm.cpp.o"
+  "CMakeFiles/cluster_dvcm.dir/cluster_dvcm.cpp.o.d"
+  "cluster_dvcm"
+  "cluster_dvcm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_dvcm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_scaleout.dir/cluster_scaleout.cpp.o"
+  "CMakeFiles/cluster_scaleout.dir/cluster_scaleout.cpp.o.d"
+  "cluster_scaleout"
+  "cluster_scaleout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_scaleout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

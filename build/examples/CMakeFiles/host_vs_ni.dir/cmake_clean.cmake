@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/host_vs_ni.dir/host_vs_ni.cpp.o"
+  "CMakeFiles/host_vs_ni.dir/host_vs_ni.cpp.o.d"
+  "host_vs_ni"
+  "host_vs_ni.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/host_vs_ni.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

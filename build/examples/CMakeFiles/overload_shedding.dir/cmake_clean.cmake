@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overload_shedding.dir/overload_shedding.cpp.o"
+  "CMakeFiles/overload_shedding.dir/overload_shedding.cpp.o.d"
+  "overload_shedding"
+  "overload_shedding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overload_shedding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

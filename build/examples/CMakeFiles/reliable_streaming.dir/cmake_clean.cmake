@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reliable_streaming.dir/reliable_streaming.cpp.o"
+  "CMakeFiles/reliable_streaming.dir/reliable_streaming.cpp.o.d"
+  "reliable_streaming"
+  "reliable_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reliable_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/video_server.dir/video_server.cpp.o"
+  "CMakeFiles/video_server.dir/video_server.cpp.o.d"
+  "video_server"
+  "video_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

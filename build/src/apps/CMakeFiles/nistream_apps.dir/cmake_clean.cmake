@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nistream_apps.dir/experiments.cpp.o"
+  "CMakeFiles/nistream_apps.dir/experiments.cpp.o.d"
+  "libnistream_apps.a"
+  "libnistream_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nistream_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nistream_dwcs.dir/baselines.cpp.o"
+  "CMakeFiles/nistream_dwcs.dir/baselines.cpp.o.d"
+  "CMakeFiles/nistream_dwcs.dir/repr.cpp.o"
+  "CMakeFiles/nistream_dwcs.dir/repr.cpp.o.d"
+  "CMakeFiles/nistream_dwcs.dir/scheduler.cpp.o"
+  "CMakeFiles/nistream_dwcs.dir/scheduler.cpp.o.d"
+  "libnistream_dwcs.a"
+  "libnistream_dwcs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nistream_dwcs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

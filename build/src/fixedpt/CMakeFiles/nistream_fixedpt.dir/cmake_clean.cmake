@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nistream_fixedpt.dir/softfloat.cpp.o"
+  "CMakeFiles/nistream_fixedpt.dir/softfloat.cpp.o.d"
+  "libnistream_fixedpt.a"
+  "libnistream_fixedpt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nistream_fixedpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnistream_fixedpt.a"
+)

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for nistream_fixedpt.
+# This may be replaced when dependencies are built.

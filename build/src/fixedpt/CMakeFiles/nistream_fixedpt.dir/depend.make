@@ -1,0 +1,2 @@
+# Empty dependencies file for nistream_fixedpt.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nistream_mpeg.dir/encoder.cpp.o"
+  "CMakeFiles/nistream_mpeg.dir/encoder.cpp.o.d"
+  "CMakeFiles/nistream_mpeg.dir/segmenter.cpp.o"
+  "CMakeFiles/nistream_mpeg.dir/segmenter.cpp.o.d"
+  "libnistream_mpeg.a"
+  "libnistream_mpeg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nistream_mpeg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nistream_sim.dir/cpusched.cpp.o"
+  "CMakeFiles/nistream_sim.dir/cpusched.cpp.o.d"
+  "CMakeFiles/nistream_sim.dir/engine.cpp.o"
+  "CMakeFiles/nistream_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/nistream_sim.dir/stats.cpp.o"
+  "CMakeFiles/nistream_sim.dir/stats.cpp.o.d"
+  "libnistream_sim.a"
+  "libnistream_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nistream_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("fixedpt")
+subdirs("hw")
+subdirs("dwcs")
+subdirs("rtos")
+subdirs("hostos")
+subdirs("mpeg")
+subdirs("net")
+subdirs("dvcm")
+subdirs("apps")

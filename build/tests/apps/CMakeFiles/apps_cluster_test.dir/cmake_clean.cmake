@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_cluster_test.dir/cluster_test.cpp.o"
+  "CMakeFiles/apps_cluster_test.dir/cluster_test.cpp.o.d"
+  "apps_cluster_test"
+  "apps_cluster_test.pdb"
+  "apps_cluster_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_cluster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

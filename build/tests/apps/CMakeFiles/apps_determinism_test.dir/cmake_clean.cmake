@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_determinism_test.dir/determinism_test.cpp.o"
+  "CMakeFiles/apps_determinism_test.dir/determinism_test.cpp.o.d"
+  "apps_determinism_test"
+  "apps_determinism_test.pdb"
+  "apps_determinism_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_determinism_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

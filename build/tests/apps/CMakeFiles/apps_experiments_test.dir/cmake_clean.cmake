@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_experiments_test.dir/experiments_test.cpp.o"
+  "CMakeFiles/apps_experiments_test.dir/experiments_test.cpp.o.d"
+  "apps_experiments_test"
+  "apps_experiments_test.pdb"
+  "apps_experiments_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_experiments_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

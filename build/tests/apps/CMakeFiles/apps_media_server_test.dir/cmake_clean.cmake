@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_media_server_test.dir/media_server_test.cpp.o"
+  "CMakeFiles/apps_media_server_test.dir/media_server_test.cpp.o.d"
+  "apps_media_server_test"
+  "apps_media_server_test.pdb"
+  "apps_media_server_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_media_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

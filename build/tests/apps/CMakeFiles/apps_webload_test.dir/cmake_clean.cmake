@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_webload_test.dir/webload_test.cpp.o"
+  "CMakeFiles/apps_webload_test.dir/webload_test.cpp.o.d"
+  "apps_webload_test"
+  "apps_webload_test.pdb"
+  "apps_webload_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_webload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

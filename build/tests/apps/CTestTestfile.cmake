@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/apps
+# Build directory: /root/repo/build/tests/apps
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/apps/apps_webload_test[1]_include.cmake")
+include("/root/repo/build/tests/apps/apps_experiments_test[1]_include.cmake")
+include("/root/repo/build/tests/apps/apps_media_server_test[1]_include.cmake")
+include("/root/repo/build/tests/apps/apps_cluster_test[1]_include.cmake")
+include("/root/repo/build/tests/apps/apps_determinism_test[1]_include.cmake")
+include("/root/repo/build/tests/apps/apps_microbench_matrix_test[1]_include.cmake")

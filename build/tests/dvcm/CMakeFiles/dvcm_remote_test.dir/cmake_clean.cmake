@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvcm_remote_test.dir/remote_test.cpp.o"
+  "CMakeFiles/dvcm_remote_test.dir/remote_test.cpp.o.d"
+  "dvcm_remote_test"
+  "dvcm_remote_test.pdb"
+  "dvcm_remote_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvcm_remote_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

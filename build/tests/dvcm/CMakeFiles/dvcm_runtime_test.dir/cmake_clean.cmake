@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvcm_runtime_test.dir/runtime_test.cpp.o"
+  "CMakeFiles/dvcm_runtime_test.dir/runtime_test.cpp.o.d"
+  "dvcm_runtime_test"
+  "dvcm_runtime_test.pdb"
+  "dvcm_runtime_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvcm_runtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvcm_stream_service_test.dir/stream_service_test.cpp.o"
+  "CMakeFiles/dvcm_stream_service_test.dir/stream_service_test.cpp.o.d"
+  "dvcm_stream_service_test"
+  "dvcm_stream_service_test.pdb"
+  "dvcm_stream_service_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvcm_stream_service_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvcm_tcp_offload_test.dir/tcp_offload_test.cpp.o"
+  "CMakeFiles/dvcm_tcp_offload_test.dir/tcp_offload_test.cpp.o.d"
+  "dvcm_tcp_offload_test"
+  "dvcm_tcp_offload_test.pdb"
+  "dvcm_tcp_offload_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvcm_tcp_offload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/dvcm
+# Build directory: /root/repo/build/tests/dvcm
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/dvcm/dvcm_runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/dvcm/dvcm_stream_service_test[1]_include.cmake")
+include("/root/repo/build/tests/dvcm/dvcm_tcp_offload_test[1]_include.cmake")
+include("/root/repo/build/tests/dvcm/dvcm_remote_test[1]_include.cmake")

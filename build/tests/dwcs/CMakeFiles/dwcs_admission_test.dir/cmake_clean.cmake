@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwcs_admission_test.dir/admission_test.cpp.o"
+  "CMakeFiles/dwcs_admission_test.dir/admission_test.cpp.o.d"
+  "dwcs_admission_test"
+  "dwcs_admission_test.pdb"
+  "dwcs_admission_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwcs_admission_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwcs_baselines_test.dir/baselines_test.cpp.o"
+  "CMakeFiles/dwcs_baselines_test.dir/baselines_test.cpp.o.d"
+  "dwcs_baselines_test"
+  "dwcs_baselines_test.pdb"
+  "dwcs_baselines_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwcs_baselines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

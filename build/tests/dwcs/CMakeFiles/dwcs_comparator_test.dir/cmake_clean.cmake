@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwcs_comparator_test.dir/comparator_test.cpp.o"
+  "CMakeFiles/dwcs_comparator_test.dir/comparator_test.cpp.o.d"
+  "dwcs_comparator_test"
+  "dwcs_comparator_test.pdb"
+  "dwcs_comparator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwcs_comparator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

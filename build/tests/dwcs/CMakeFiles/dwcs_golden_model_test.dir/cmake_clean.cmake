@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwcs_golden_model_test.dir/golden_model_test.cpp.o"
+  "CMakeFiles/dwcs_golden_model_test.dir/golden_model_test.cpp.o.d"
+  "dwcs_golden_model_test"
+  "dwcs_golden_model_test.pdb"
+  "dwcs_golden_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwcs_golden_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

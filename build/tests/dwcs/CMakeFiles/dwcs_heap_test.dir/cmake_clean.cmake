@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwcs_heap_test.dir/heap_test.cpp.o"
+  "CMakeFiles/dwcs_heap_test.dir/heap_test.cpp.o.d"
+  "dwcs_heap_test"
+  "dwcs_heap_test.pdb"
+  "dwcs_heap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwcs_heap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

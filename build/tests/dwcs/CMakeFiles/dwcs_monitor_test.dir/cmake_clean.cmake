@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwcs_monitor_test.dir/monitor_test.cpp.o"
+  "CMakeFiles/dwcs_monitor_test.dir/monitor_test.cpp.o.d"
+  "dwcs_monitor_test"
+  "dwcs_monitor_test.pdb"
+  "dwcs_monitor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwcs_monitor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwcs_repr_test.dir/repr_test.cpp.o"
+  "CMakeFiles/dwcs_repr_test.dir/repr_test.cpp.o.d"
+  "dwcs_repr_test"
+  "dwcs_repr_test.pdb"
+  "dwcs_repr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwcs_repr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwcs_ring_test.dir/ring_test.cpp.o"
+  "CMakeFiles/dwcs_ring_test.dir/ring_test.cpp.o.d"
+  "dwcs_ring_test"
+  "dwcs_ring_test.pdb"
+  "dwcs_ring_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwcs_ring_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwcs_scheduler_test.dir/scheduler_test.cpp.o"
+  "CMakeFiles/dwcs_scheduler_test.dir/scheduler_test.cpp.o.d"
+  "dwcs_scheduler_test"
+  "dwcs_scheduler_test.pdb"
+  "dwcs_scheduler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwcs_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

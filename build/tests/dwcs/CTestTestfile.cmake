@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/dwcs
+# Build directory: /root/repo/build/tests/dwcs
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/dwcs/dwcs_ring_test[1]_include.cmake")
+include("/root/repo/build/tests/dwcs/dwcs_comparator_test[1]_include.cmake")
+include("/root/repo/build/tests/dwcs/dwcs_heap_test[1]_include.cmake")
+include("/root/repo/build/tests/dwcs/dwcs_scheduler_test[1]_include.cmake")
+include("/root/repo/build/tests/dwcs/dwcs_repr_test[1]_include.cmake")
+include("/root/repo/build/tests/dwcs/dwcs_baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/dwcs/dwcs_monitor_test[1]_include.cmake")
+include("/root/repo/build/tests/dwcs/dwcs_admission_test[1]_include.cmake")
+include("/root/repo/build/tests/dwcs/dwcs_golden_model_test[1]_include.cmake")

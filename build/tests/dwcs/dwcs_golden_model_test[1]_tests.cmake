@@ -1,0 +1,3 @@
+add_test([=[GoldenModel.ProductionSchedulerMatchesReferenceExactly]=]  /root/repo/build/tests/dwcs/dwcs_golden_model_test [==[--gtest_filter=GoldenModel.ProductionSchedulerMatchesReferenceExactly]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[GoldenModel.ProductionSchedulerMatchesReferenceExactly]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests/dwcs SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  dwcs_golden_model_test_TESTS GoldenModel.ProductionSchedulerMatchesReferenceExactly)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fixedpt_fixed_test.dir/fixed_test.cpp.o"
+  "CMakeFiles/fixedpt_fixed_test.dir/fixed_test.cpp.o.d"
+  "fixedpt_fixed_test"
+  "fixedpt_fixed_test.pdb"
+  "fixedpt_fixed_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fixedpt_fixed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

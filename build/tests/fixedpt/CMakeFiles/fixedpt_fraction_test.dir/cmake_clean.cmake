@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fixedpt_fraction_test.dir/fraction_test.cpp.o"
+  "CMakeFiles/fixedpt_fraction_test.dir/fraction_test.cpp.o.d"
+  "fixedpt_fraction_test"
+  "fixedpt_fraction_test.pdb"
+  "fixedpt_fraction_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fixedpt_fraction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fixedpt_softfloat_test.dir/softfloat_test.cpp.o"
+  "CMakeFiles/fixedpt_softfloat_test.dir/softfloat_test.cpp.o.d"
+  "fixedpt_softfloat_test"
+  "fixedpt_softfloat_test.pdb"
+  "fixedpt_softfloat_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fixedpt_softfloat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,9 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/fixedpt
+# Build directory: /root/repo/build/tests/fixedpt
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/fixedpt/fixedpt_fraction_test[1]_include.cmake")
+include("/root/repo/build/tests/fixedpt/fixedpt_fixed_test[1]_include.cmake")
+include("/root/repo/build/tests/fixedpt/fixedpt_softfloat_test[1]_include.cmake")

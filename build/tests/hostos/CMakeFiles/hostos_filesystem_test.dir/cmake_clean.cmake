@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hostos_filesystem_test.dir/filesystem_test.cpp.o"
+  "CMakeFiles/hostos_filesystem_test.dir/filesystem_test.cpp.o.d"
+  "hostos_filesystem_test"
+  "hostos_filesystem_test.pdb"
+  "hostos_filesystem_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hostos_filesystem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hostos_host_test.dir/host_test.cpp.o"
+  "CMakeFiles/hostos_host_test.dir/host_test.cpp.o.d"
+  "hostos_host_test"
+  "hostos_host_test.pdb"
+  "hostos_host_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hostos_host_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

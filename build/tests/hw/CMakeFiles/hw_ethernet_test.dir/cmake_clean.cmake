@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_ethernet_test.dir/ethernet_test.cpp.o"
+  "CMakeFiles/hw_ethernet_test.dir/ethernet_test.cpp.o.d"
+  "hw_ethernet_test"
+  "hw_ethernet_test.pdb"
+  "hw_ethernet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_ethernet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

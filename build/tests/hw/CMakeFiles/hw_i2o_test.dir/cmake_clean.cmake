@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_i2o_test.dir/i2o_test.cpp.o"
+  "CMakeFiles/hw_i2o_test.dir/i2o_test.cpp.o.d"
+  "hw_i2o_test"
+  "hw_i2o_test.pdb"
+  "hw_i2o_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_i2o_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

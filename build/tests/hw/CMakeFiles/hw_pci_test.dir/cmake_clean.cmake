@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_pci_test.dir/pci_test.cpp.o"
+  "CMakeFiles/hw_pci_test.dir/pci_test.cpp.o.d"
+  "hw_pci_test"
+  "hw_pci_test.pdb"
+  "hw_pci_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_pci_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

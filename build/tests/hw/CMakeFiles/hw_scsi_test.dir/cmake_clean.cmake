@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_scsi_test.dir/scsi_test.cpp.o"
+  "CMakeFiles/hw_scsi_test.dir/scsi_test.cpp.o.d"
+  "hw_scsi_test"
+  "hw_scsi_test.pdb"
+  "hw_scsi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_scsi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_striped_volume_test.dir/striped_volume_test.cpp.o"
+  "CMakeFiles/hw_striped_volume_test.dir/striped_volume_test.cpp.o.d"
+  "hw_striped_volume_test"
+  "hw_striped_volume_test.pdb"
+  "hw_striped_volume_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_striped_volume_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

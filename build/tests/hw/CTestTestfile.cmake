@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/hw
+# Build directory: /root/repo/build/tests/hw
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/hw/hw_cache_test[1]_include.cmake")
+include("/root/repo/build/tests/hw/hw_cpu_test[1]_include.cmake")
+include("/root/repo/build/tests/hw/hw_pci_test[1]_include.cmake")
+include("/root/repo/build/tests/hw/hw_ethernet_test[1]_include.cmake")
+include("/root/repo/build/tests/hw/hw_scsi_test[1]_include.cmake")
+include("/root/repo/build/tests/hw/hw_i2o_test[1]_include.cmake")
+include("/root/repo/build/tests/hw/hw_memory_test[1]_include.cmake")
+include("/root/repo/build/tests/hw/hw_nic_board_test[1]_include.cmake")
+include("/root/repo/build/tests/hw/hw_striped_volume_test[1]_include.cmake")

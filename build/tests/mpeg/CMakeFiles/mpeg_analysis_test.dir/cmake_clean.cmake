@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpeg_analysis_test.dir/analysis_test.cpp.o"
+  "CMakeFiles/mpeg_analysis_test.dir/analysis_test.cpp.o.d"
+  "mpeg_analysis_test"
+  "mpeg_analysis_test.pdb"
+  "mpeg_analysis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpeg_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpeg_mpeg_test.dir/mpeg_test.cpp.o"
+  "CMakeFiles/mpeg_mpeg_test.dir/mpeg_test.cpp.o.d"
+  "mpeg_mpeg_test"
+  "mpeg_mpeg_test.pdb"
+  "mpeg_mpeg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpeg_mpeg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_tcplite_test.dir/tcplite_test.cpp.o"
+  "CMakeFiles/net_tcplite_test.dir/tcplite_test.cpp.o.d"
+  "net_tcplite_test"
+  "net_tcplite_test.pdb"
+  "net_tcplite_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_tcplite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

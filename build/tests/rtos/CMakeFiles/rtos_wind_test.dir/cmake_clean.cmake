@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtos_wind_test.dir/wind_test.cpp.o"
+  "CMakeFiles/rtos_wind_test.dir/wind_test.cpp.o.d"
+  "rtos_wind_test"
+  "rtos_wind_test.pdb"
+  "rtos_wind_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtos_wind_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_cpusched_test.dir/cpusched_test.cpp.o"
+  "CMakeFiles/sim_cpusched_test.dir/cpusched_test.cpp.o.d"
+  "sim_cpusched_test"
+  "sim_cpusched_test.pdb"
+  "sim_cpusched_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_cpusched_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
