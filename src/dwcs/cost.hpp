@@ -31,11 +31,23 @@ class CostHook {
   virtual void reg() {}
   /// Fixed control-flow overhead in CPU cycles (call/loop/branch costs).
   virtual void cycles(std::int64_t /*n*/) {}
+
+  /// False only for the shared null hook: charges are discarded, so charge
+  /// replays that exist solely to keep the simulated cost model bit-identical
+  /// (see DualHeapRepr::pick) can be skipped on pure wall-clock runs.
+  [[nodiscard]] virtual bool accounted() const { return true; }
 };
+
+namespace detail {
+class NullCostHook final : public CostHook {
+ public:
+  [[nodiscard]] bool accounted() const override { return false; }
+};
+}  // namespace detail
 
 /// Shared do-nothing hook for un-instrumented use.
 [[nodiscard]] inline CostHook& null_cost_hook() {
-  static CostHook hook;
+  static detail::NullCostHook hook;
   return hook;
 }
 

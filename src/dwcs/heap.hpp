@@ -5,6 +5,12 @@
 // tracked per stream id so a key change (window adjustment, deadline advance)
 // re-sifts in O(log n) without a search.
 //
+// The comparator is a template parameter, not a std::function: every compare
+// on the sift paths is a direct (typically inlined) call, which is what keeps
+// schedule_next wall-clock fast at 10k-100k streams. Use a named comparator
+// struct (see repr.cpp) or std::function when type erasure is genuinely
+// needed (tests).
+//
 // Every element the sift path touches is charged as a memory word at the
 // heap's simulated base address, so the heap's cache behaviour shows up in
 // the Table 1/2 numbers exactly as the descriptor loops do.
@@ -12,8 +18,8 @@
 
 #include <cassert>
 #include <cstdint>
-#include <functional>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "dwcs/cost.hpp"
@@ -21,10 +27,9 @@
 
 namespace nistream::dwcs {
 
+template <class Less>
 class IndexedHeap {
  public:
-  using Less = std::function<bool(StreamId, StreamId)>;
-
   IndexedHeap(Less less, CostHook& hook, SimAddr base_addr)
       : less_{std::move(less)}, hook_{&hook}, base_{base_addr} {}
 
@@ -32,6 +37,13 @@ class IndexedHeap {
   [[nodiscard]] std::size_t size() const { return data_.size(); }
   [[nodiscard]] bool contains(StreamId id) const {
     return id < pos_.size() && pos_[id] >= 0;
+  }
+
+  /// Pre-size the backing arrays for `n` streams so the growth phase of a
+  /// large run never reallocates mid-decision.
+  void reserve(std::size_t n) {
+    data_.reserve(n);
+    if (pos_.size() < n) pos_.resize(n, -1);
   }
 
   void push(StreamId id) {
@@ -63,6 +75,14 @@ class IndexedHeap {
 
   [[nodiscard]] std::optional<StreamId> top() const {
     if (data_.empty()) return std::nullopt;
+    touch(0);
+    return data_[0];
+  }
+
+  /// top() for callers that already know the heap is non-empty; skips the
+  /// optional wrapper on the hot path. Precondition: !empty().
+  [[nodiscard]] StreamId top_unchecked() const {
+    assert(!data_.empty());
     touch(0);
     return data_[0];
   }

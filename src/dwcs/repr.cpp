@@ -2,50 +2,96 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 #include <list>
 
 namespace nistream::dwcs {
 namespace {
+
+// Named heap comparators (IndexedHeap is templated on the comparator, so
+// these compile to direct calls on the sift paths — no std::function).
+// Charges flow through the Comparator they hold: a comparator built over the
+// scheduler's hook charges the modeled arithmetic, one built over the null
+// hook orders silently.
+
+/// Rule-1 ordering with id tie-break (the Figure 4(a) deadline heap).
+/// Deliberately uncharged, as in the paper model: the deadline compare cost
+/// is charged by the callers that walk the heap, not by its maintenance.
+struct DeadlineIdLess {
+  const StreamTable* table;
+  bool operator()(StreamId a, StreamId b) const {
+    const auto& va = table->view(a);
+    const auto& vb = table->view(b);
+    if (va.next_deadline != vb.next_deadline) {
+      return va.next_deadline < vb.next_deadline;
+    }
+    return a < b;
+  }
+};
+
+/// Tolerance-domain ordering (rules 2-4 + id), charged through `cmp`.
+struct ToleranceLess {
+  const StreamTable* table;
+  const Comparator* cmp;
+  bool operator()(StreamId a, StreamId b) const {
+    return cmp->tolerance_precedes(table->view(a), a, table->view(b), b);
+  }
+};
+
+/// Full precedence (rules 1-5), charged through `cmp`.
+struct FullLess {
+  const StreamTable* table;
+  const Comparator* cmp;
+  bool operator()(StreamId a, StreamId b) const {
+    return cmp->precedes(table->view(a), a, table->view(b), b);
+  }
+};
 
 /// Figure 4(a): deadline heap + loss-tolerance heap. The deadline heap
 /// resolves rule 1; ties at the minimum deadline are broken by the tolerance
 /// ordering, which the tolerance heap keeps ready (its top is the globally
 /// most tolerance-urgent stream, so the common all-deadlines-equal case is
 /// O(1) after the heaps are maintained).
+///
+/// Tie-break slow path: alongside the two modeled heaps, a third,
+/// *uncharged* heap (order_) maintains the full rule-1..5 order, so when the
+/// tolerance-heap top does not share the minimum deadline, the winner is its
+/// top — O(1), instead of the O(n) scan of the raw deadline heap the model
+/// describes. Two-clock discipline (docs/performance.md): when an accounted
+/// hook is attached, the modeled O(n) tie scan is still *replayed* so every
+/// charged cycle/word of Tables 1-2 stays bit-identical; on null-hook
+/// (wall-clock) runs the replay is skipped.
 class DualHeapRepr final : public ScheduleRepr {
  public:
   DualHeapRepr(const StreamTable& table, const Comparator& cmp, CostHook& hook,
                SimAddr base)
       : table_{table},
         cmp_{cmp},
-        deadline_heap_{
-            [this](StreamId a, StreamId b) {
-              const auto& va = table_.view(a);
-              const auto& vb = table_.view(b);
-              if (va.next_deadline != vb.next_deadline) {
-                return va.next_deadline < vb.next_deadline;
-              }
-              return a < b;
-            },
-            hook, base},
-        tolerance_heap_{
-            [this](StreamId a, StreamId b) {
-              return cmp_.tolerance_precedes(table_.view(a), a, table_.view(b),
-                                             b);
-            },
-            hook, base + 0x10000} {}
+        hook_{&hook},
+        quiet_cmp_{cmp.mode(), null_cost_hook()},
+        deadline_heap_{DeadlineIdLess{&table}, hook, base},
+        tolerance_heap_{ToleranceLess{&table, &cmp}, hook, base + 0x10000},
+        order_{FullLess{&table, &quiet_cmp_}, null_cost_hook(), 0} {}
 
   void insert(StreamId id) override {
     deadline_heap_.push(id);
     tolerance_heap_.push(id);
+    order_.push(id);
   }
   void remove(StreamId id) override {
     deadline_heap_.erase(id);
     tolerance_heap_.erase(id);
+    order_.erase(id);
   }
   void update(StreamId id) override {
     deadline_heap_.update(id);
     tolerance_heap_.update(id);
+    order_.update(id);
+  }
+  void reserve(std::size_t n) override {
+    deadline_heap_.reserve(n);
+    tolerance_heap_.reserve(n);
+    order_.reserve(n);
   }
 
   std::optional<StreamId> pick() override {
@@ -57,16 +103,28 @@ class DualHeapRepr final : public ScheduleRepr {
     const sim::Time dmin = table_.view(*top).next_deadline;
     const auto tol_top = tolerance_heap_.top();
     if (tol_top && table_.view(*tol_top).next_deadline == dmin) return tol_top;
-    // Otherwise collect the deadline ties and break them explicitly.
-    StreamId best = *top;
-    for (std::size_t i = 0; i < deadline_heap_.raw().size(); ++i) {
-      deadline_heap_.touch(i);
-      const StreamId s = deadline_heap_.raw()[i];
-      if (s == best) continue;
-      if (table_.view(s).next_deadline != dmin) continue;
-      if (cmp_.tolerance_precedes(table_.view(s), s, table_.view(best), best)) {
-        best = s;
+    // Slow path: the full-order shadow heap has the deadline-tie winner on
+    // top (its order is deadline-major, then tolerance) — O(1).
+    const StreamId best = order_.top_unchecked();
+    if (hook_->accounted()) {
+      // Replay the modeled tie scan of the raw deadline heap so the charged
+      // cost stream (memory words, tolerance compares) is bit-identical to
+      // the pre-optimization implementation that Tables 1-2 were calibrated
+      // against. Instrumented runs are small-n paper reproductions, so the
+      // O(n) here is irrelevant to wall-clock scale.
+      StreamId model_best = *top;
+      for (std::size_t i = 0; i < deadline_heap_.raw().size(); ++i) {
+        deadline_heap_.touch(i);
+        const StreamId s = deadline_heap_.raw()[i];
+        if (s == model_best) continue;
+        if (table_.view(s).next_deadline != dmin) continue;
+        if (cmp_.tolerance_precedes(table_.view(s), s, table_.view(model_best),
+                                    model_best)) {
+          model_best = s;
+        }
       }
+      assert(model_best == best);
+      (void)model_best;
     }
     return best;
   }
@@ -80,8 +138,11 @@ class DualHeapRepr final : public ScheduleRepr {
  private:
   const StreamTable& table_;
   const Comparator& cmp_;
-  IndexedHeap deadline_heap_;
-  IndexedHeap tolerance_heap_;
+  CostHook* hook_;
+  Comparator quiet_cmp_;  // same arithmetic mode, null hook (order_ only)
+  IndexedHeap<DeadlineIdLess> deadline_heap_;
+  IndexedHeap<ToleranceLess> tolerance_heap_;
+  IndexedHeap<FullLess> order_;
 };
 
 /// One heap under the full rule-1..5 comparator.
@@ -89,21 +150,8 @@ class SingleHeapRepr final : public ScheduleRepr {
  public:
   SingleHeapRepr(const StreamTable& table, const Comparator& cmp,
                  CostHook& hook, SimAddr base)
-      : table_{table},
-        heap_{[this, &cmp](StreamId a, StreamId b) {
-                return cmp.precedes(table_.view(a), a, table_.view(b), b);
-              },
-              hook, base},
-        deadline_heap_{
-            [this](StreamId a, StreamId b) {
-              const auto& va = table_.view(a);
-              const auto& vb = table_.view(b);
-              if (va.next_deadline != vb.next_deadline) {
-                return va.next_deadline < vb.next_deadline;
-              }
-              return a < b;
-            },
-            hook, base + 0x10000} {}
+      : heap_{FullLess{&table, &cmp}, hook, base},
+        deadline_heap_{DeadlineIdLess{&table}, hook, base + 0x10000} {}
 
   void insert(StreamId id) override {
     heap_.push(id);
@@ -117,6 +165,10 @@ class SingleHeapRepr final : public ScheduleRepr {
     heap_.update(id);
     deadline_heap_.update(id);
   }
+  void reserve(std::size_t n) override {
+    heap_.reserve(n);
+    deadline_heap_.reserve(n);
+  }
   std::optional<StreamId> pick() override { return heap_.top(); }
   std::optional<StreamId> earliest_deadline() override {
     return deadline_heap_.top();
@@ -124,9 +176,8 @@ class SingleHeapRepr final : public ScheduleRepr {
   const char* name() const override { return "single-heap"; }
 
  private:
-  const StreamTable& table_;
-  IndexedHeap heap_;
-  IndexedHeap deadline_heap_;
+  IndexedHeap<FullLess> heap_;
+  IndexedHeap<DeadlineIdLess> deadline_heap_;
 };
 
 /// Insertion-sorted list under the full comparator.
@@ -191,6 +242,7 @@ class FcfsRepr final : public ScheduleRepr {
   void insert(StreamId id) override { members_.push_back(id); }
   void remove(StreamId id) override { std::erase(members_, id); }
   void update(StreamId) override {}  // arrival order does not change
+  void reserve(std::size_t n) override { members_.reserve(n); }
 
   std::optional<StreamId> pick() override {
     std::optional<StreamId> best;
@@ -230,76 +282,157 @@ class FcfsRepr final : public ScheduleRepr {
 };
 
 /// Deadline-bucketed calendar queue: streams hash into day buckets by
-/// deadline; pick scans the earliest non-empty bucket and breaks ties with
-/// the full comparator. Bucket width trades bucket-scan length against
+/// deadline; pick scans the earliest non-empty day and breaks ties with the
+/// full comparator. Bucket width trades bucket-scan length against
 /// bucket-chain length.
+///
+/// The calendar is a circular bucket array (a "timing wheel"), not a
+/// std::map: a day maps to bucket `day mod n_buckets`, entries carry their
+/// day so colliding days share a bucket, and the earliest populated day is
+/// found by walking forward from a cached lower bound (`min_day_`, the
+/// classic calendar-queue year scan). The wheel doubles when load exceeds
+/// two entries per bucket. Charged costs are unchanged from the map-based
+/// implementation: only the entries of the minimum day are charged, in
+/// insertion order, exactly as the old per-day vectors were; wheel
+/// bookkeeping (collision skips, day scans, resizes) is host work.
 class CalendarQueueRepr final : public ScheduleRepr {
  public:
   CalendarQueueRepr(const StreamTable& table, const Comparator& cmp,
                     CostHook& hook, SimAddr base,
                     sim::Time bucket_width = sim::Time::ms(10))
       : table_{table}, cmp_{cmp}, hook_{&hook}, base_{base},
-        width_ns_{bucket_width.raw_ns()} {}
+        width_ns_{bucket_width.raw_ns()}, buckets_{64} {}
 
   void insert(StreamId id) override {
-    const std::int64_t key = bucket_of(id);
-    calendar_[key].push_back(id);
-    if (id >= bucket_of_stream_.size()) bucket_of_stream_.resize(id + 1, 0);
-    bucket_of_stream_[id] = key;
+    if (id >= day_of_stream_.size()) day_of_stream_.resize(id + 1, kAbsent);
+    assert(day_of_stream_[id] == kAbsent);
+    if (count_ + 1 > buckets_.size() * 2) grow(buckets_.size() * 2);
+    const std::int64_t day = day_of(id);
+    buckets_[index(day)].push_back({day, id});
+    day_of_stream_[id] = day;
+    if (count_ == 0 || day < min_day_) min_day_ = day;
+    ++count_;
   }
 
   void remove(StreamId id) override {
-    const std::int64_t key = bucket_of_stream_[id];
-    auto it = calendar_.find(key);
-    assert(it != calendar_.end());
-    std::erase(it->second, id);
-    if (it->second.empty()) calendar_.erase(it);
+    // Guarded: removing an id that was never inserted (or whose entry was
+    // already evicted) is a no-op instead of an out-of-bounds index.
+    if (id >= day_of_stream_.size() || day_of_stream_[id] == kAbsent) return;
+    auto& bucket = buckets_[index(day_of_stream_[id])];
+    std::erase_if(bucket, [id](const Entry& e) { return e.id == id; });
+    day_of_stream_[id] = kAbsent;
+    --count_;
   }
 
   void update(StreamId id) override {
-    const std::int64_t key = bucket_of(id);
-    if (key == bucket_of_stream_[id]) return;  // tolerance-only change
+    // A stream whose entry was already evicted (or never inserted) is
+    // re-admitted under its current deadline rather than indexing a stale
+    // bucket key.
+    if (id >= day_of_stream_.size() || day_of_stream_[id] == kAbsent) {
+      insert(id);
+      return;
+    }
+    const std::int64_t day = day_of(id);
+    if (day == day_of_stream_[id]) return;  // tolerance-only change
     remove(id);
     insert(id);
   }
 
+  void reserve(std::size_t n) override {
+    day_of_stream_.reserve(n);
+    std::size_t target = buckets_.size();
+    while (n > target * 2) target *= 2;
+    if (target != buckets_.size()) grow(target);
+  }
+
   std::optional<StreamId> pick() override {
-    if (calendar_.empty()) return std::nullopt;
-    // The earliest bucket holds the earliest deadline, but the full winner
-    // could be a deadline-tied stream in the same bucket only (rule 1 is
-    // deadline-major), so one bucket scan suffices.
-    const auto& bucket = calendar_.begin()->second;
-    StreamId best = bucket.front();
-    for (std::size_t i = 0; i < bucket.size(); ++i) {
-      hook_->mem(base_ + i * 8);
-      const StreamId s = bucket[i];
-      if (s != best &&
-          cmp_.precedes(table_.view(s), s, table_.view(best), best)) {
-        best = s;
+    if (count_ == 0) return std::nullopt;
+    advance_min_day();
+    // The earliest day holds the earliest deadline, but the full winner
+    // could be a deadline-tied stream in the same day only (rule 1 is
+    // deadline-major), so one day scan suffices.
+    StreamId best = kInvalidStream;
+    std::size_t charged = 0;
+    for (const Entry& e : buckets_[index(min_day_)]) {
+      if (e.day != min_day_) continue;  // wheel collision from another year
+      hook_->mem(base_ + charged++ * 8);
+      if (best == kInvalidStream) {
+        best = e.id;
+      } else if (cmp_.precedes(table_.view(e.id), e.id, table_.view(best),
+                               best)) {
+        best = e.id;
       }
     }
+    assert(best != kInvalidStream);
     return best;
   }
 
   std::optional<StreamId> earliest_deadline() override {
-    if (calendar_.empty()) return std::nullopt;
-    const auto& bucket = calendar_.begin()->second;
-    StreamId best = bucket.front();
-    for (std::size_t i = 0; i < bucket.size(); ++i) {
-      hook_->mem(base_ + i * 8);
-      const StreamId s = bucket[i];
-      const auto ds = table_.view(s).next_deadline;
+    if (count_ == 0) return std::nullopt;
+    advance_min_day();
+    StreamId best = kInvalidStream;
+    std::size_t charged = 0;
+    for (const Entry& e : buckets_[index(min_day_)]) {
+      if (e.day != min_day_) continue;
+      hook_->mem(base_ + charged++ * 8);
+      if (best == kInvalidStream) {
+        best = e.id;
+        continue;
+      }
+      const auto ds = table_.view(e.id).next_deadline;
       const auto db = table_.view(best).next_deadline;
-      if (ds < db || (ds == db && s < best)) best = s;
+      if (ds < db || (ds == db && e.id < best)) best = e.id;
     }
+    assert(best != kInvalidStream);
     return best;
   }
 
   const char* name() const override { return "calendar-queue"; }
 
  private:
-  [[nodiscard]] std::int64_t bucket_of(StreamId id) const {
+  static constexpr std::int64_t kAbsent = std::numeric_limits<std::int64_t>::min();
+
+  struct Entry {
+    std::int64_t day;
+    StreamId id;
+  };
+
+  [[nodiscard]] std::int64_t day_of(StreamId id) const {
     return table_.view(id).next_deadline.raw_ns() / width_ns_;
+  }
+  [[nodiscard]] std::size_t index(std::int64_t day) const {
+    return static_cast<std::size_t>(day) & (buckets_.size() - 1);
+  }
+
+  /// Advance `min_day_` (a lower bound) to the earliest populated day.
+  /// Precondition: count_ > 0.
+  void advance_min_day() {
+    const auto wheel = static_cast<std::int64_t>(buckets_.size());
+    for (std::int64_t d = min_day_; d < min_day_ + wheel; ++d) {
+      for (const Entry& e : buckets_[index(d)]) {
+        if (e.day == d) {
+          min_day_ = d;
+          return;
+        }
+      }
+    }
+    // Every entry lives beyond one wheel revolution from the bound (sparse
+    // deadlines): recompute exactly. Rare, O(n).
+    std::int64_t best = std::numeric_limits<std::int64_t>::max();
+    for (const auto& bucket : buckets_) {
+      for (const Entry& e : bucket) best = std::min(best, e.day);
+    }
+    min_day_ = best;
+  }
+
+  void grow(std::size_t n_buckets) {
+    std::vector<std::vector<Entry>> next{n_buckets};
+    for (auto& bucket : buckets_) {
+      for (const Entry& e : bucket) {
+        next[static_cast<std::size_t>(e.day) & (n_buckets - 1)].push_back(e);
+      }
+    }
+    buckets_ = std::move(next);
   }
 
   const StreamTable& table_;
@@ -307,8 +440,10 @@ class CalendarQueueRepr final : public ScheduleRepr {
   CostHook* hook_;
   SimAddr base_;
   std::int64_t width_ns_;
-  std::map<std::int64_t, std::vector<StreamId>> calendar_;
-  std::vector<std::int64_t> bucket_of_stream_;
+  std::vector<std::vector<Entry>> buckets_;  // size is a power of two
+  std::vector<std::int64_t> day_of_stream_;  // kAbsent when not queued
+  std::size_t count_ = 0;
+  std::int64_t min_day_ = 0;
 };
 
 }  // namespace

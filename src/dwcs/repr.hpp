@@ -47,6 +47,9 @@ class ScheduleRepr {
   virtual void insert(StreamId id) = 0;
   virtual void remove(StreamId id) = 0;
   virtual void update(StreamId id) = 0;
+  /// Pre-size internal storage for `n` streams (never charged: capacity
+  /// planning is host work, not part of the modeled scheduler).
+  virtual void reserve(std::size_t /*n*/) {}
   [[nodiscard]] virtual std::optional<StreamId> pick() = 0;
   [[nodiscard]] virtual std::optional<StreamId> earliest_deadline() = 0;
   [[nodiscard]] virtual const char* name() const = 0;

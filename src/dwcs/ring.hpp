@@ -19,6 +19,7 @@
 #include <atomic>
 #include <cassert>
 #include <cstdint>
+#include <deque>
 #include <optional>
 #include <vector>
 
@@ -106,6 +107,22 @@ class FrameRing {
   CostHook* hook_;
   std::atomic<std::size_t> head_{0};
   std::atomic<std::size_t> tail_{0};
+};
+
+/// Arena of per-stream rings. Rings are non-movable (SPSC atomics), so they
+/// live in deque chunks: stable addresses, chunked allocation instead of one
+/// heap object per stream, and per-stream state that stays a flat pointer
+/// rather than a unique_ptr indirection on the scheduling hot path.
+class FrameRingPool {
+ public:
+  FrameRing& emplace(std::size_t capacity, DescriptorResidency residency,
+                     SimAddr base_addr, CostHook& hook) {
+    return rings_.emplace_back(capacity, residency, base_addr, hook);
+  }
+  [[nodiscard]] std::size_t size() const { return rings_.size(); }
+
+ private:
+  std::deque<FrameRing> rings_;
 };
 
 }  // namespace nistream::dwcs

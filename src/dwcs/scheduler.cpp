@@ -41,9 +41,8 @@ StreamId DwcsScheduler::create_stream(const StreamParams& params,
   s.view.original = params.tolerance;
   s.view.current = params.tolerance;
   s.view.next_deadline = now + params.period;
-  s.ring = std::make_unique<FrameRing>(config_.ring_capacity,
-                                       config_.residency, next_ring_base_,
-                                       *hook_);
+  s.ring = &ring_pool_.emplace(config_.ring_capacity, config_.residency,
+                               next_ring_base_, *hook_);
   s.state_addr = 0x00F0'0000 + static_cast<SimAddr>(id) * 128;
   next_ring_base_ += 0x10000;  // rings 64 KB apart in simulated memory
   streams_.push_back(std::move(s));

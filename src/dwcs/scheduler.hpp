@@ -81,6 +81,14 @@ class DwcsScheduler final : public PacketScheduler, private StreamTable {
 
   explicit DwcsScheduler(Config config, CostHook& hook = null_cost_hook());
 
+  /// Pre-size per-stream state and the representation's structures for `n`
+  /// streams (host-side capacity planning; charges nothing). Optional — the
+  /// scheduler grows on demand without it.
+  void reserve_streams(std::size_t n) {
+    streams_.reserve(n);
+    repr_->reserve(n);
+  }
+
   // PacketScheduler:
   StreamId create_stream(const StreamParams& params, sim::Time now) override;
   bool enqueue(StreamId id, const FrameDescriptor& frame, sim::Time now) override;
@@ -113,7 +121,7 @@ class DwcsScheduler final : public PacketScheduler, private StreamTable {
   struct StreamState {
     StreamParams params;
     StreamView view;  // dynamic keys, exposed to representations
-    std::unique_ptr<FrameRing> ring;
+    FrameRing* ring = nullptr;  // owned by ring_pool_, stable address
     StreamStats stats;
     bool head_late_adjusted = false;  // rule B applied to the current head
     SimAddr state_addr = 0;  // simulated address of the stream-state block
@@ -138,6 +146,7 @@ class DwcsScheduler final : public PacketScheduler, private StreamTable {
   Config config_;
   CostHook* hook_;
   Comparator comparator_;
+  FrameRingPool ring_pool_;  // pooled arena; streams_ holds raw pointers
   std::vector<StreamState> streams_;
   std::unique_ptr<ScheduleRepr> repr_;
   std::uint64_t decisions_ = 0;

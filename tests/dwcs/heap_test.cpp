@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <functional>
 
 #include "sim/random.hpp"
 
@@ -11,9 +12,11 @@ namespace nistream::dwcs {
 namespace {
 
 // Key table the comparator closes over; update() re-sifts after key changes.
+// The heap is comparator-templated; the type-erased std::function
+// instantiation used here is exactly what the pre-template heap hardcoded.
 struct Keyed {
   std::vector<int> keys;
-  IndexedHeap heap;
+  IndexedHeap<std::function<bool(StreamId, StreamId)>> heap;
 
   explicit Keyed(std::size_t n)
       : keys(n, 0),
@@ -57,6 +60,18 @@ TEST(IndexedHeap, UpdateAfterKeyIncrease) {
   k.keys[0] = 100;
   k.heap.update(0);
   EXPECT_EQ(k.heap.top(), StreamId{3});
+}
+
+TEST(IndexedHeap, TopUncheckedMatchesTopAndReserveKeepsState) {
+  Keyed k{8};
+  k.heap.reserve(8);
+  k.keys = {5, 4, 3, 2, 1, 9, 8, 7};
+  for (StreamId i = 0; i < 8; ++i) k.heap.push(i);
+  EXPECT_EQ(k.heap.top_unchecked(), StreamId{4});
+  EXPECT_EQ(k.heap.top(), std::optional<StreamId>{4});
+  k.heap.reserve(64);  // growing the index must not disturb membership
+  EXPECT_TRUE(k.heap.contains(7));
+  EXPECT_EQ(k.heap.top_unchecked(), StreamId{4});
 }
 
 TEST(IndexedHeap, EmptyTopIsNullopt) {
