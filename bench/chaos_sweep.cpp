@@ -1,0 +1,339 @@
+// Chaos sweep: graceful degradation under injected faults, measured.
+//
+// A fault-rate × stream-count grid over the failover media server. Every
+// cell runs the same deterministic scenario: paced producers feed MPEG-sized
+// frames from the NI's disks through the NI-resident DWCS scheduler to a
+// remote client, while the fault plane injects Ethernet loss/corruption, I2O
+// message drops, PCI transaction errors, and disk faults at the cell's rate.
+// Cells with a nonzero rate also crash the NI board mid-run and reboot it
+// one second later, exercising the full watchdog-trip -> host-takeover ->
+// fail-back cycle.
+//
+// What the JSON proves (the acceptance criteria of the fault-plane work):
+//  * rate 0 == the old perfect world: zero faults injected, zero failovers;
+//  * at >= 1% fault rates the watchdog completes failover AND failback, and
+//    per-stream window violations stay bounded — QoS degrades, it does not
+//    collapse.
+// The bench exits nonzero when either property fails, so CI can gate on it.
+//
+// Reproducible from the command line: `chaos_sweep [out.json] [--seed=u64]`.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "apps/client.hpp"
+#include "apps/failover_server.hpp"
+#include "cli.hpp"
+#include "fault/fault_plane.hpp"
+
+using namespace nistream;
+
+namespace {
+
+constexpr sim::Time kRunFor = sim::Time::sec(6);
+constexpr sim::Time kCrashAt = sim::Time::sec(2);
+constexpr sim::Time kRebootAfter = sim::Time::sec(1);
+constexpr sim::Time kFramePeriod = sim::Time::ms(33);
+constexpr std::uint32_t kFrameBytes = 1000;
+// Frames fetched per disk I/O. Per-frame reads from interleaved streams pay a
+// full seek+rotation (~4 ms) each, saturating two disks at 32 streams; block
+// reads amortize the mechanical cost as a real media pump does.
+constexpr std::uint32_t kFramesPerBlock = 8;
+
+struct CellResult {
+  double fault_rate = 0;
+  std::size_t streams = 0;
+  bool crash_scheduled = false;
+  fault::FaultPlane::Summary faults;
+  std::uint64_t frames_enqueued = 0;
+  std::uint64_t frames_delivered = 0;
+  std::uint64_t frames_rejected = 0;
+  std::uint64_t frames_purged = 0;
+  std::uint64_t violating_windows = 0;
+  double max_stream_violation_rate = 0;
+  std::uint64_t failovers = 0;
+  std::uint64_t failbacks = 0;
+  double failover_latency_ms = 0;
+  double recovery_time_ms = 0;
+  bool ok = true;
+  std::string fail_reason;
+};
+
+/// Paced per-stream producer: prefetch the next frame from disk, then enqueue
+/// it exactly on the period grid (a real pump reads ahead; pacing on
+/// read-completion would drift by the read latency every period and smear
+/// lateness into the rate-0 baseline). A rejected frame is NOT retried — it
+/// stands in for a live source whose moment has passed (the router records it
+/// as a drop against the stream's window).
+sim::Coro chaos_producer(sim::Engine& engine, hw::ScsiDisk& disk,
+                         apps::FailoverMediaServer& server, dwcs::StreamId id,
+                         std::uint64_t disk_offset, sim::Time stagger,
+                         sim::Time anchor, std::uint64_t* enqueued) {
+  // Stagger admission phase so the per-disk block reads do not convoy on the
+  // disk gate every refill cycle (real servers admit streams over time, not
+  // in one burst).
+  if (stagger > sim::Time::zero()) co_await sim::Delay{engine, stagger};
+  std::uint64_t offset = disk_offset;
+  co_await disk.read(offset, kFrameBytes * kFramesPerBlock);  // prime
+  offset += kFrameBytes * kFramesPerBlock;
+  // The pacing grid starts at `anchor` — fixed per stream, NOT at whatever
+  // instant the primed read completed. Anchoring on read completion would
+  // scatter grids by the (random) seek time, and any two streams landing
+  // within the VCM's ~70 us serialized dispatch of each other would make
+  // the later one structurally late on every frame. From the anchor on, any
+  // lateness is caused by the system under test — disk contention, injected
+  // faults, failover — never by the pump itself.
+  sim::Time next = anchor;
+  for (;;) {
+    for (std::uint32_t k = 0; k < kFramesPerBlock; ++k) {
+      if (engine.now() < next) {
+        co_await sim::Delay{engine, next - engine.now()};
+      }
+      if (engine.now() >= kRunFor) co_return;
+      if (server.enqueue(id, kFrameBytes, mpeg::FrameType::kP)) ++(*enqueued);
+      next = next + kFramePeriod;
+    }
+    co_await disk.read(offset, kFrameBytes * kFramesPerBlock);
+    offset += kFrameBytes * kFramesPerBlock;
+  }
+}
+
+CellResult run_cell(double rate, std::size_t n_streams, std::uint64_t seed) {
+  CellResult r;
+  r.fault_rate = rate;
+  r.streams = n_streams;
+  r.crash_scheduled = rate > 0;
+
+  sim::Engine eng;
+  hostos::HostMachine host{eng, 2};
+  hw::PciBus bus{eng};
+  hw::EthernetSwitch ether{eng};
+  fault::FaultPlane plane{eng, fault::FaultProfile::uniform(rate, seed)};
+
+  // Completion-anchored deadlines: with dozens of same-period streams the
+  // VCM serializes near-tied dispatches at ~30 us each, so the last stream
+  // in a tie is structurally a few tens of us past its own deadline. Grid
+  // anchoring would turn that phase deficit into a permanent 100% drop rate
+  // for that stream; completion anchoring absorbs it (see scheduler.hpp).
+  apps::FailoverMediaServer::Config cfg;
+  cfg.service.scheduler.deadline_from_completion = true;
+  apps::FailoverMediaServer server{host, bus, ether, cfg};
+  apps::MpegClient client{eng, ether};
+
+  // Wire the injectors into every layer the frames traverse. Rate-0 cells
+  // wire them too — proving the hooks are inert when the policy is zero.
+  ether.set_fault(&plane.link());
+  bus.set_fault(&plane.pci());
+  server.ni().board().i2o().set_fault(&plane.i2o());
+  server.ni().board().disk(0).set_fault(&plane.disk());
+  server.ni().board().disk(1).set_fault(&plane.disk());
+  server.ni().attach_health(plane.health());
+
+  if (r.crash_scheduled) {
+    plane.health().schedule_crash(kCrashAt, kRebootAfter);
+  }
+
+  sim::Trace dbg_trace{1u << 20};
+  if (std::getenv("CHAOS_DEBUG") != nullptr) {
+    server.ni().service().set_trace(sim::TraceSink{&dbg_trace});
+  }
+
+  std::uint64_t enqueued = 0;
+  const std::size_t per_disk = (n_streams + 1) / 2;
+  const double refill_us = kFramePeriod.to_us() * kFramesPerBlock;
+  for (std::size_t i = 0; i < n_streams; ++i) {
+    const auto id = server.create_stream(
+        {.tolerance = {1, 4}, .period = kFramePeriod, .lossy = true},
+        client.port());
+    const auto stagger = sim::Time::us(
+        refill_us * static_cast<double>(i / 2) / static_cast<double>(per_disk));
+    // Grid anchor: stagger + a budget covering the worst-case fault-free
+    // primed read (~9 ms) + a sub-period phase spreading the streams'
+    // deadlines 733 us apart so no two fall within the VCM's serialized
+    // dispatch window of each other.
+    const auto anchor = stagger + sim::Time::ms(10) +
+                        sim::Time::us(733.0 * static_cast<double>(i));
+    chaos_producer(eng, server.ni().board().disk(static_cast<int>(i % 2)),
+                   server, id, /*disk_offset=*/i * 0x0100'0000ull, stagger,
+                   anchor, &enqueued)
+        .detach();
+  }
+
+  eng.run_until(kRunFor);
+
+  r.faults = plane.summary();
+  r.frames_enqueued = enqueued;
+  r.frames_delivered = client.total_frames();
+  const auto m = server.metrics();
+  r.frames_rejected = m.frames_rejected;
+  r.frames_purged = m.frames_purged;
+  r.failovers = m.failovers;
+  r.failbacks = m.failbacks;
+  r.failover_latency_ms = m.failover_latency_ms;
+  r.recovery_time_ms = m.recovery_time_ms;
+  r.violating_windows = server.monitor().total_violating_windows();
+  for (std::size_t i = 0; i < n_streams; ++i) {
+    const double vr =
+        server.monitor().violation_rate(static_cast<dwcs::StreamId>(i));
+    if (vr > r.max_stream_violation_rate) r.max_stream_violation_rate = vr;
+  }
+
+  if (std::getenv("CHAOS_DEBUG") != nullptr) {
+    for (std::size_t i = 0; i < n_streams; ++i) {
+      const auto sid = static_cast<dwcs::StreamId>(i);
+      const auto& st = server.active().scheduler().stats(sid);
+      std::printf(
+          "  dbg stream %2zu: packets=%llu viol=%llu vrate=%.3f recv=%llu "
+          "enq=%llu ontime=%llu late=%llu drop=%llu\n",
+          i, static_cast<unsigned long long>(server.monitor().packets(sid)),
+          static_cast<unsigned long long>(
+              server.monitor().violating_windows(sid)),
+          server.monitor().violation_rate(sid),
+          static_cast<unsigned long long>(client.frames_received(sid)),
+          static_cast<unsigned long long>(st.enqueued),
+          static_cast<unsigned long long>(st.serviced_on_time),
+          static_cast<unsigned long long>(st.serviced_late),
+          static_cast<unsigned long long>(st.dropped));
+    }
+    // CHAOS_DEBUG_STREAM=<id> additionally dumps that stream's first few
+    // service-trace records (enqueue/dispatch/drop timeline).
+    if (const char* pick = std::getenv("CHAOS_DEBUG_STREAM")) {
+      const auto want = std::strtoull(pick, nullptr, 10);
+      int shown = 0;
+      for (const auto& rec : dbg_trace.records()) {
+        if (rec.a != want) continue;
+        std::printf("  dbg trace t=%.3fms %s/%s stream=%llu frame=%llu\n",
+                    rec.at.to_ms(), rec.category.c_str(), rec.label.c_str(),
+                    static_cast<unsigned long long>(rec.a),
+                    static_cast<unsigned long long>(rec.b));
+        if (++shown >= 12) break;
+      }
+    }
+  }
+
+  // Pass/fail per cell.
+  auto fail = [&r](const std::string& why) {
+    r.ok = false;
+    r.fail_reason += (r.fail_reason.empty() ? "" : "; ") + why;
+  };
+  if (rate == 0.0) {
+    if (r.faults.total() != 0) fail("faults injected at rate 0");
+    if (r.failovers != 0) fail("failover at rate 0");
+    if (r.violating_windows != 0) fail("violations in the perfect world");
+  } else {
+    if (r.faults.total() == 0) fail("no faults injected at nonzero rate");
+    if (r.failovers == 0) fail("watchdog never tripped on a dead board");
+    if (r.failbacks == 0) fail("NI never re-instated after reboot");
+    // "Bounded" = degradation, not collapse: even with the board dead for
+    // over a second of a six-second run, most window positions must hold.
+    if (r.max_stream_violation_rate > 0.5) {
+      fail("violation rate " + std::to_string(r.max_stream_violation_rate) +
+           " exceeds 0.5 on some stream");
+    }
+    if (r.frames_delivered < r.frames_enqueued / 2) {
+      fail("fewer than half the enqueued frames were delivered");
+    }
+  }
+  return r;
+}
+
+void write_json(const std::vector<CellResult>& cells, const std::string& path,
+                std::uint64_t seed, bool all_ok) {
+  std::ofstream out{path};
+  if (!out) {
+    std::printf("could not write %s\n", path.c_str());
+    return;
+  }
+  out << "{\n  \"bench\": \"chaos_sweep\",\n"
+      << "  \"seed\": " << seed << ",\n"
+      << "  \"run_sec\": " << kRunFor.to_sec() << ",\n"
+      << "  \"crash_at_sec\": " << kCrashAt.to_sec() << ",\n"
+      << "  \"reboot_after_sec\": " << kRebootAfter.to_sec() << ",\n"
+      << "  \"ok\": " << (all_ok ? "true" : "false") << ",\n"
+      << "  \"cells\": [\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const auto& c = cells[i];
+    char buf[1024];
+    std::snprintf(
+        buf, sizeof buf,
+        "    {\"fault_rate\": %g, \"streams\": %zu, \"crash\": %s,\n"
+        "     \"faults_injected\": %llu, \"frames_dropped\": %llu, "
+        "\"frames_corrupted\": %llu, \"i2o_dropped\": %llu, "
+        "\"pci_errors\": %llu, \"disk_read_errors\": %llu, "
+        "\"disk_spikes\": %llu,\n"
+        "     \"enqueued\": %llu, \"delivered\": %llu, \"rejected\": %llu, "
+        "\"purged\": %llu,\n"
+        "     \"violating_windows\": %llu, \"max_violation_rate\": %.4f,\n"
+        "     \"failovers\": %llu, \"failbacks\": %llu, "
+        "\"failover_latency_ms\": %.3f, \"recovery_time_ms\": %.3f,\n"
+        "     \"ok\": %s%s%s%s}",
+        c.fault_rate, c.streams, c.crash_scheduled ? "true" : "false",
+        static_cast<unsigned long long>(c.faults.total()),
+        static_cast<unsigned long long>(c.faults.frames_dropped),
+        static_cast<unsigned long long>(c.faults.frames_corrupted),
+        static_cast<unsigned long long>(c.faults.i2o_inbound_dropped +
+                                        c.faults.i2o_outbound_dropped),
+        static_cast<unsigned long long>(c.faults.pci_errors),
+        static_cast<unsigned long long>(c.faults.disk_read_errors),
+        static_cast<unsigned long long>(c.faults.disk_spikes),
+        static_cast<unsigned long long>(c.frames_enqueued),
+        static_cast<unsigned long long>(c.frames_delivered),
+        static_cast<unsigned long long>(c.frames_rejected),
+        static_cast<unsigned long long>(c.frames_purged),
+        static_cast<unsigned long long>(c.violating_windows),
+        c.max_stream_violation_rate,
+        static_cast<unsigned long long>(c.failovers),
+        static_cast<unsigned long long>(c.failbacks), c.failover_latency_ms,
+        c.recovery_time_ms, c.ok ? "true" : "false",
+        c.ok ? "" : ", \"fail_reason\": \"", c.ok ? "" : c.fail_reason.c_str(),
+        c.ok ? "" : "\"");
+    out << buf << (i + 1 < cells.size() ? ",\n" : "\n");
+  }
+  out << "  ]\n}\n";
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path =
+      bench::positional(argc, argv, "BENCH_chaos.json");
+  const std::uint64_t seed = bench::flag_u64(argc, argv, "seed", 0xFA017);
+
+  const std::vector<double> rates{0.0, 0.01, 0.05};
+  const std::vector<std::size_t> stream_counts{8, 32};
+
+  std::printf("==== chaos sweep: fault rate x streams, seed=%llu ====\n",
+              static_cast<unsigned long long>(seed));
+  std::printf("%8s %8s %8s %10s %10s %8s %10s %12s %10s %5s\n", "rate",
+              "streams", "faults", "delivered", "rejected", "viol",
+              "max_vrate", "failover_ms", "recov_ms", "ok");
+  std::vector<CellResult> cells;
+  bool all_ok = true;
+  for (const double rate : rates) {
+    for (const std::size_t n : stream_counts) {
+      // Distinct seed per cell, derived from the master.
+      const std::uint64_t cell_seed =
+          seed ^ (static_cast<std::uint64_t>(rate * 1000) << 32) ^ n;
+      const auto c = run_cell(rate, n, cell_seed);
+      std::printf("%8g %8zu %8llu %10llu %10llu %8llu %10.4f %12.2f %10.2f %5s\n",
+                  c.fault_rate, c.streams,
+                  static_cast<unsigned long long>(c.faults.total()),
+                  static_cast<unsigned long long>(c.frames_delivered),
+                  static_cast<unsigned long long>(c.frames_rejected),
+                  static_cast<unsigned long long>(c.violating_windows),
+                  c.max_stream_violation_rate, c.failover_latency_ms,
+                  c.recovery_time_ms, c.ok ? "yes" : "NO");
+      if (!c.ok) {
+        std::printf("         ^ FAIL: %s\n", c.fail_reason.c_str());
+        all_ok = false;
+      }
+      cells.push_back(c);
+    }
+  }
+  write_json(cells, out_path, seed, all_ok);
+  return all_ok ? 0 : 1;
+}

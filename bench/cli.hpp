@@ -1,0 +1,50 @@
+// Tiny shared argv parsing for the bench binaries.
+//
+// Every bench takes an optional positional output path plus `--key=value`
+// flags, so a run is reproducible from its command line alone (the seed in
+// particular lands in the output JSON). No dependency, no allocation beyond
+// the strings argv already is.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+namespace nistream::bench {
+
+/// Value of `--<name>=<u64>` in argv, or `fallback` when absent. Accepts
+/// decimal and 0x-prefixed hex. A malformed value is a hard error — silently
+/// running with the wrong seed would poison a "reproducible" result.
+inline std::uint64_t flag_u64(int argc, char** argv, std::string_view name,
+                              std::uint64_t fallback) {
+  const std::string prefix = "--" + std::string{name} + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg{argv[i]};
+    if (!arg.starts_with(prefix)) continue;
+    const std::string value{arg.substr(prefix.size())};
+    char* end = nullptr;
+    const std::uint64_t v = std::strtoull(value.c_str(), &end, 0);
+    if (end == value.c_str() || *end != '\0') {
+      std::fprintf(stderr, "bad %s value: '%s'\n", prefix.c_str(),
+                   value.c_str());
+      std::exit(2);
+    }
+    return v;
+  }
+  return fallback;
+}
+
+/// First argv entry that is not a `--flag`, or `fallback`. Benches use this
+/// for their output path.
+inline std::string positional(int argc, char** argv,
+                              std::string_view fallback) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view{argv[i]}.starts_with("--")) continue;
+    return argv[i];
+  }
+  return std::string{fallback};
+}
+
+}  // namespace nistream::bench

@@ -10,7 +10,9 @@
 // case and the tie-break path dominates.
 //
 // Output: a human-readable table on stdout plus BENCH_scale.json (path
-// overridable via argv[1]) so successive PRs have a tracked perf trajectory.
+// overridable via the positional arg) so successive PRs have a tracked perf
+// trajectory. `--seed=<u64>` re-seeds the workload generator (default
+// 0x5ca1e, the historical constant) and is echoed into the JSON.
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
@@ -19,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "cli.hpp"
 #include "dwcs/scheduler.hpp"
 #include "sim/random.hpp"
 
@@ -47,12 +50,13 @@ double elapsed_sec(Clock::time_point t0) {
 /// deadline ties are the common case, as in the paper's testbed) and a small
 /// standing backlog per stream.
 std::unique_ptr<dwcs::DwcsScheduler> make_loaded_scheduler(dwcs::ReprKind kind,
-                                                           std::size_t n) {
+                                                           std::size_t n,
+                                                           std::uint64_t seed) {
   dwcs::DwcsScheduler::Config cfg;
   cfg.repr = kind;
   cfg.ring_capacity = 8;
   auto sched = std::make_unique<dwcs::DwcsScheduler>(cfg);
-  sim::Rng rng{0x5ca1eULL ^ n};
+  sim::Rng rng{seed ^ n};
   for (std::size_t i = 0; i < n; ++i) {
     const std::int64_t y = 2 + static_cast<std::int64_t>(rng.below(6));
     const std::int64_t x = static_cast<std::int64_t>(
@@ -91,7 +95,7 @@ bool step(dwcs::DwcsScheduler& sched, sim::Time& now, std::uint64_t& next_fid) {
   return true;
 }
 
-SweepResult run_config(dwcs::ReprKind kind, std::size_t n,
+SweepResult run_config(dwcs::ReprKind kind, std::size_t n, std::uint64_t seed,
                        double throughput_budget_sec,
                        double latency_budget_sec) {
   SweepResult r;
@@ -109,7 +113,7 @@ SweepResult run_config(dwcs::ReprKind kind, std::size_t n,
   // Throughput pass: no per-decision clock reads; check the budget every
   // 512 decisions so timer overhead does not pollute decisions/sec.
   {
-    auto sched = make_loaded_scheduler(kind, n);
+    auto sched = make_loaded_scheduler(kind, n, seed);
     sim::Time now = sim::Time::zero();
     std::uint64_t fid = n;
     const auto t0 = Clock::now();
@@ -129,7 +133,7 @@ SweepResult run_config(dwcs::ReprKind kind, std::size_t n,
 
   // Latency pass: fresh scheduler, every decision timed individually.
   {
-    auto sched = make_loaded_scheduler(kind, n);
+    auto sched = make_loaded_scheduler(kind, n, seed);
     sim::Time now = sim::Time::zero();
     std::uint64_t fid = n;
     std::vector<std::uint32_t> lat_ns;
@@ -156,13 +160,14 @@ SweepResult run_config(dwcs::ReprKind kind, std::size_t n,
 }
 
 bool write_json(const std::vector<SweepResult>& results,
-                const std::string& path) {
+                const std::string& path, std::uint64_t seed) {
   std::ofstream out{path};
   if (!out) {
     std::printf("could not write %s\n", path.c_str());
     return false;
   }
   out << "{\n  \"bench\": \"scale_sweep\",\n"
+      << "  \"seed\": " << seed << ",\n"
       << "  \"unit\": {\"decisions_per_sec\": \"1/s\", \"latency\": \"ns\"},\n"
       << "  \"configs\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
@@ -191,7 +196,9 @@ bool write_json(const std::vector<SweepResult>& results,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string out_path = argc > 1 ? argv[1] : "BENCH_scale.json";
+  const std::string out_path =
+      bench::positional(argc, argv, "BENCH_scale.json");
+  const std::uint64_t seed = bench::flag_u64(argc, argv, "seed", 0x5ca1e);
   const std::vector<std::size_t> sizes{1'000, 10'000, 100'000};
   const std::vector<dwcs::ReprKind> kinds{
       dwcs::ReprKind::kDualHeap, dwcs::ReprKind::kSingleHeap,
@@ -204,7 +211,7 @@ int main(int argc, char** argv) {
   std::vector<SweepResult> results;
   for (const auto kind : kinds) {
     for (const auto n : sizes) {
-      const auto r = run_config(kind, n, /*throughput_budget_sec=*/0.25,
+      const auto r = run_config(kind, n, seed, /*throughput_budget_sec=*/0.25,
                                 /*latency_budget_sec=*/0.15);
       if (r.skipped) {
         std::printf("%-16s %10zu %16s (%s)\n", r.repr, r.streams, "skipped",
@@ -216,5 +223,5 @@ int main(int argc, char** argv) {
       results.push_back(r);
     }
   }
-  return write_json(results, out_path) ? 0 : 1;
+  return write_json(results, out_path, seed) ? 0 : 1;
 }

@@ -71,6 +71,14 @@ class NiSchedulerServer {
   [[nodiscard]] dvcm::DwcsExtension& extension() { return *extension_; }
   [[nodiscard]] dvcm::StreamService& service() { return extension_->service(); }
 
+  /// Gate this server on a board-health state machine: the board stops
+  /// fetching I2O messages and the stream service stalls/rejects while the
+  /// health object says the board is down or hung.
+  void attach_health(fault::BoardHealth& h) {
+    board_.set_health(&h);
+    service().set_health(&h);
+  }
+
  private:
   hw::NicBoard board_;
   rtos::WindKernel kernel_;

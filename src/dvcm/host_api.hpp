@@ -9,6 +9,7 @@
 #include <cassert>
 #include <coroutine>
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 
 #include "dvcm/instruction.hpp"
@@ -27,7 +28,13 @@ class VcmHostApi {
       for (;;) {
         const hw::I2oMessage m = co_await self.channel_.outbound().receive();
         const auto it = self.pending_.find(m.w2);
-        if (it == self.pending_.end()) continue;  // unsolicited notification
+        if (it == self.pending_.end()) {
+          // Unsolicited notification (card-initiated, cookie 0 by
+          // convention — call cookies start at 1). Heartbeat acks and other
+          // async card events arrive here.
+          if (self.notification_handler_) self.notification_handler_(m);
+          continue;
+        }
         it->second->reply = m;
         it->second->done = true;
         if (it->second->waiter) it->second->waiter.resume();
@@ -90,6 +97,13 @@ class VcmHostApi {
 
   [[nodiscard]] std::uint64_t invocations() const { return invocations_; }
 
+  /// Receive card-initiated messages that match no pending call (w2 == 0 by
+  /// convention). Without a handler they are silently discarded, as before.
+  using NotificationHandler = std::function<void(const hw::I2oMessage&)>;
+  void set_notification_handler(NotificationHandler h) {
+    notification_handler_ = std::move(h);
+  }
+
  private:
   struct Transaction {
     bool done = false;
@@ -126,6 +140,7 @@ class VcmHostApi {
   sim::Engine& engine_;
   hw::I2oChannel& channel_;
   std::unordered_map<std::uint64_t, std::unique_ptr<Transaction>> pending_;
+  NotificationHandler notification_handler_;
   std::uint64_t next_cookie_ = 1;
   std::uint64_t invocations_ = 0;
 };

@@ -15,10 +15,13 @@
 // entire Figure 7/8 effect.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <vector>
 
+#include "fault/board_health.hpp"
 #include "dwcs/hw_cost_hook.hpp"
 #include "dwcs/scheduler.hpp"
 #include "hw/memory.hpp"
@@ -29,6 +32,18 @@
 #include "sim/trace.hpp"
 
 namespace nistream::dvcm {
+
+/// Everything a peer needs to re-admit one stream after the machine holding
+/// its scheduler state dies: the admission-time parameters plus the send-side
+/// sequence position. Queued-but-undispatched frames are NOT part of the
+/// checkpoint — they lived in the dead board's RAM and are lost by design
+/// (the producer re-enqueues from the source).
+struct StreamCheckpoint {
+  dwcs::StreamId id = 0;
+  dwcs::StreamParams params{};
+  int client_port = -1;
+  std::uint64_t frames_sent = 0;
+};
 
 class StreamService {
  public:
@@ -55,7 +70,17 @@ class StreamService {
         hook_{cpu, int_costs, fp_costs},
         sched_{config.scheduler, hook_},
         memory_{memory},
-        work_{engine} {}
+        work_{engine} {
+    // Frames the scheduler drops internally (lossy late drops, purges) never
+    // reach the dispatch path, so their card-memory copy must be released
+    // here or the pool leaks under sustained lateness.
+    sched_.set_drop_hook(
+        [this](dwcs::StreamId id, const dwcs::FrameDescriptor& d) {
+          if (memory_) memory_->release(d.bytes);
+          trace_.record(engine_.now(), "dwcs", "drop", id, d.frame_id);
+          if (drop_observer_) drop_observer_(id, d);
+        });
+  }
 
   StreamService(const StreamService&) = delete;
   StreamService& operator=(const StreamService&) = delete;
@@ -71,6 +96,13 @@ class StreamService {
   /// Producer side. Allocates the frame's single copy in card memory when a
   /// pool is attached; a full ring or an exhausted pool rejects the frame.
   bool enqueue(dwcs::StreamId id, std::uint32_t bytes, mpeg::FrameType type) {
+    if (health_ != nullptr && !health_->alive()) {
+      // The board holding the queues is down or hung; nothing can be
+      // admitted. Counted separately from resource rejections so failover
+      // logic can tell "full" from "dead".
+      ++rejected_offline_;
+      return false;
+    }
     dwcs::FrameDescriptor d;
     d.frame_id = next_frame_id_++;
     d.bytes = bytes;
@@ -102,6 +134,13 @@ class StreamService {
   sim::Coro run(CpuCtx& ctx, net::UdpEndpoint& endpoint) {
     for (;;) {
       if (stopped_) co_return;
+      if (health_ != nullptr && !health_->alive()) {
+        // Crashed or hung board: the dispatch task makes no progress. Poll
+        // rather than wait on a condition — a crashed board has nobody left
+        // to signal it, and 1 ms is far below any frame period.
+        co_await sim::Delay{engine_, kHealthPoll};
+        continue;
+      }
       const auto next = sched_.earliest_backlog_deadline();
       if (!next) {
         co_await work_.wait();
@@ -148,6 +187,7 @@ class StreamService {
         ++dispatched_;
         trace_.record(engine_.now(), "dwcs", "dispatch", d.stream,
                       d.frame.frame_id, delay_ms);
+        if (dispatch_observer_) dispatch_observer_(d.stream, d);
       }
     }
   }
@@ -158,8 +198,64 @@ class StreamService {
   }
 
   /// Attach a trace sink; the service then records "dwcs"-category events
-  /// (enqueue / dispatch / reject) for offline analysis.
+  /// (enqueue / dispatch / reject / drop) for offline analysis.
   void set_trace(sim::TraceSink sink) { trace_ = sink; }
+
+  /// Gate the service on a board's health: while not alive, enqueue rejects
+  /// and the dispatch loop stalls. nullptr (the default) means always alive.
+  void set_health(fault::BoardHealth* h) { health_ = h; }
+
+  /// QoS observers (nullable). The dispatch observer fires once per frame
+  /// put on the wire (Dispatch.late distinguishes on-time from late); the
+  /// drop observer fires once per frame the scheduler discarded. Together
+  /// they are exactly the per-stream outcome sequence a
+  /// dwcs::WindowViolationMonitor wants.
+  using DispatchObserver =
+      std::function<void(dwcs::StreamId, const dwcs::Dispatch&)>;
+  using DropObserver =
+      std::function<void(dwcs::StreamId, const dwcs::FrameDescriptor&)>;
+  void set_dispatch_observer(DispatchObserver obs) {
+    dispatch_observer_ = std::move(obs);
+  }
+  void set_drop_observer(DropObserver obs) { drop_observer_ = std::move(obs); }
+
+  /// Snapshot every stream's re-admission state (see StreamCheckpoint).
+  [[nodiscard]] std::vector<StreamCheckpoint> checkpoint() const {
+    std::vector<StreamCheckpoint> out;
+    out.reserve(streams_.size());
+    for (std::size_t i = 0; i < streams_.size(); ++i) {
+      const auto id = static_cast<dwcs::StreamId>(i);
+      out.push_back({.id = id,
+                     .params = sched_.stream_params(id),
+                     .client_port = streams_[i].client_port,
+                     .frames_sent = streams_[i].frames_sent});
+    }
+    return out;
+  }
+
+  /// Re-admit checkpointed streams into this (fresh) service. Stream ids are
+  /// preserved, so the service must not have competing streams already; the
+  /// assert enforces the id agreement.
+  void restore(const std::vector<StreamCheckpoint>& snap) {
+    for (const auto& c : snap) {
+      const auto id = create_stream(c.params, c.client_port);
+      assert(id == c.id);
+      (void)id;
+      streams_[c.id].frames_sent = c.frames_sent;
+    }
+  }
+
+  /// Discard every queued frame on every stream — the crash wipe. Frame
+  /// memory is released and drops are observed through the drop hook, but no
+  /// window adjustments happen and nothing is charged (the CPU that would
+  /// pay is the one that died). Returns frames discarded.
+  std::size_t purge_backlog() {
+    std::size_t purged = 0;
+    for (std::size_t i = 0; i < streams_.size(); ++i) {
+      purged += sched_.purge_stream(static_cast<dwcs::StreamId>(i));
+    }
+    return purged;
+  }
 
   [[nodiscard]] dwcs::DwcsScheduler& scheduler() { return sched_; }
   [[nodiscard]] std::uint64_t dispatched() const { return dispatched_; }
@@ -168,6 +264,9 @@ class StreamService {
   }
   [[nodiscard]] std::uint64_t rejected_no_memory() const {
     return rejected_no_memory_;
+  }
+  [[nodiscard]] std::uint64_t rejected_offline() const {
+    return rejected_offline_;
   }
   /// (frame#, queuing delay ms) points — the y-axis data of Figures 8/10.
   [[nodiscard]] const std::vector<std::pair<std::uint64_t, double>>&
@@ -182,6 +281,8 @@ class StreamService {
     std::uint64_t frames_sent;
   };
 
+  static constexpr sim::Time kHealthPoll = sim::Time::ms(1);
+
   sim::Engine& engine_;
   Config config_;
   hw::CpuModel& cpu_;
@@ -195,6 +296,10 @@ class StreamService {
   std::uint64_t dispatched_ = 0;
   std::uint64_t rejected_ring_full_ = 0;
   std::uint64_t rejected_no_memory_ = 0;
+  std::uint64_t rejected_offline_ = 0;
+  fault::BoardHealth* health_ = nullptr;
+  DispatchObserver dispatch_observer_;
+  DropObserver drop_observer_;
   bool stopped_ = false;
 };
 

@@ -82,6 +82,21 @@ class FrameRing {
     head_.store((h + 1) % slots_.size(), std::memory_order_release);
   }
 
+  /// Observability variants that charge nothing through the CostHook: for
+  /// drop notifications and crash wipes, where the simulated CPU is not doing
+  /// the access (or no longer exists). Never use these on the scheduling hot
+  /// path — they would silently under-charge it.
+  [[nodiscard]] std::optional<FrameDescriptor> front_unaccounted() const {
+    const auto h = head_.load(std::memory_order_relaxed);
+    if (h == tail_.load(std::memory_order_acquire)) return std::nullopt;
+    return slots_[h];
+  }
+  void pop_unaccounted() {
+    const auto h = head_.load(std::memory_order_relaxed);
+    assert(h != tail_.load(std::memory_order_acquire));
+    head_.store((h + 1) % slots_.size(), std::memory_order_release);
+  }
+
  private:
   void touch_slot(std::size_t slot, int words) const {
     if (residency_ == DescriptorResidency::kHardwareQueue) {

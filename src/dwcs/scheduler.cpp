@@ -137,6 +137,11 @@ void DwcsScheduler::process_late(sim::Time now) {
     if (s.view.next_deadline >= now) break;
     if (s.params.lossy) {
       // Drop without transmitting — saves the wire bandwidth entirely.
+      if (drop_hook_) {
+        if (const auto head = s.ring->front_unaccounted()) {
+          drop_hook_(*sid, *head);
+        }
+      }
       s.ring->pop();
       ++s.stats.dropped;
       touch_stream_state(s, kDropStateWords);
@@ -177,6 +182,11 @@ std::optional<Dispatch> DwcsScheduler::schedule_next(sim::Time now) {
     StreamState& cand = streams_[*sid];
     hook_->arith_int(Op::kCmp, 1);
     if (!cand.params.lossy || cand.view.next_deadline >= now) break;
+    if (drop_hook_) {
+      if (const auto head = cand.ring->front_unaccounted()) {
+        drop_hook_(*sid, *head);
+      }
+    }
     cand.ring->pop();
     ++cand.stats.dropped;
     touch_stream_state(cand, kDropStateWords);
@@ -224,6 +234,24 @@ std::optional<Dispatch> DwcsScheduler::schedule_next(sim::Time now) {
     repr_->update(*sid);
   }
   return d;
+}
+
+std::size_t DwcsScheduler::purge_stream(StreamId id) {
+  assert(id < streams_.size());
+  StreamState& s = streams_[id];
+  std::size_t purged = 0;
+  while (const auto head = s.ring->front_unaccounted()) {
+    if (drop_hook_) drop_hook_(id, *head);
+    s.ring->pop_unaccounted();
+    ++purged;
+  }
+  s.stats.dropped += purged;
+  if (s.view.has_backlog) {
+    s.view.has_backlog = false;
+    repr_->remove(id);
+  }
+  s.head_late_adjusted = false;
+  return purged;
 }
 
 std::uint64_t DwcsScheduler::total_violations() const {

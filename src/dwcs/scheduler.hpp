@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -117,6 +118,19 @@ class DwcsScheduler final : public PacketScheduler, private StreamTable {
     return streams_[*sid].view.next_deadline;
   }
 
+  /// Fires whenever the scheduler drops a frame internally (lossy late drop
+  /// or purge) — frames that leave the queues without ever being dispatched.
+  /// Owners use it to release per-frame resources and feed QoS monitors.
+  /// Charges nothing: the descriptor handed over is read unaccounted.
+  using DropHook = std::function<void(StreamId, const FrameDescriptor&)>;
+  void set_drop_hook(DropHook hook) { drop_hook_ = std::move(hook); }
+
+  /// Discard every queued frame of `id` without window adjustments — the
+  /// board holding the queues died; the frames are gone, not "late". Fires
+  /// the drop hook per frame, counts them in stats().dropped, and charges
+  /// nothing (no CPU exists to charge). Returns the number purged.
+  std::size_t purge_stream(StreamId id);
+
  private:
   struct StreamState {
     StreamParams params;
@@ -149,6 +163,7 @@ class DwcsScheduler final : public PacketScheduler, private StreamTable {
   FrameRingPool ring_pool_;  // pooled arena; streams_ holds raw pointers
   std::vector<StreamState> streams_;
   std::unique_ptr<ScheduleRepr> repr_;
+  DropHook drop_hook_;
   std::uint64_t decisions_ = 0;
   SimAddr next_ring_base_ = 0x0200'0000;  // simulated card-memory layout
 };

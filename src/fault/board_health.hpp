@@ -1,0 +1,126 @@
+// Whole-board health state machine for an NI card.
+//
+// Three states:
+//  * Up   — normal operation.
+//  * Hung — the i960 stopped making progress (firmware wedge, watchdog-less
+//           spin). Board RAM and stream state survive; dispatch and I2O
+//           processing stall until recover().
+//  * Down — the board crashed (or was yanked). Board RAM is gone: queued
+//           frames are lost, and coming back requires a reboot, which bumps
+//           the incarnation number so peers can tell a rebooted board from a
+//           long-hung one.
+//
+// Transitions may be commanded directly (tests) or scheduled on the engine
+// (chaos runs). Components never poll the engine — they consult alive() on
+// their hot paths (one branch), and interested parties register an observer
+// for the wipe/re-admission work that must happen exactly at a transition.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+
+namespace nistream::fault {
+
+enum class BoardState : std::uint8_t { kUp, kHung, kDown };
+
+[[nodiscard]] inline const char* to_string(BoardState s) {
+  switch (s) {
+    case BoardState::kUp: return "up";
+    case BoardState::kHung: return "hung";
+    case BoardState::kDown: return "down";
+  }
+  return "?";
+}
+
+class BoardHealth {
+ public:
+  using Observer = std::function<void(BoardState)>;
+
+  explicit BoardHealth(sim::Engine& engine) : engine_{engine} {}
+
+  BoardHealth(const BoardHealth&) = delete;
+  BoardHealth& operator=(const BoardHealth&) = delete;
+
+  [[nodiscard]] BoardState state() const { return state_; }
+  [[nodiscard]] bool alive() const { return state_ == BoardState::kUp; }
+  /// Bumped on every reboot; lets a watchdog distinguish "recovered from a
+  /// hang, state intact" from "rebooted, state wiped".
+  [[nodiscard]] std::uint64_t incarnation() const { return incarnation_; }
+  [[nodiscard]] std::uint64_t crashes() const { return crashes_; }
+  [[nodiscard]] std::uint64_t hangs() const { return hangs_; }
+  [[nodiscard]] std::uint64_t reboots() const { return reboots_; }
+  [[nodiscard]] sim::Time last_down_at() const { return last_down_at_; }
+  [[nodiscard]] sim::Time last_up_at() const { return last_up_at_; }
+
+  /// Called after every state change (new state passed in). The observer is
+  /// where crash wipes and re-admission hooks live.
+  void set_observer(Observer obs) { observer_ = std::move(obs); }
+
+  /// Immediate transitions (idempotent: wrong-state calls are no-ops).
+  void crash() {
+    if (state_ == BoardState::kDown) return;
+    ++crashes_;
+    transition(BoardState::kDown);
+  }
+  void hang() {
+    if (state_ != BoardState::kUp) return;
+    ++hangs_;
+    transition(BoardState::kHung);
+  }
+  /// Hang -> Up: progress resumes, state intact.
+  void recover() {
+    if (state_ != BoardState::kHung) return;
+    transition(BoardState::kUp);
+  }
+  /// Down -> Up with a fresh incarnation: RAM wiped, firmware reloaded.
+  void reboot() {
+    if (state_ != BoardState::kDown) return;
+    ++incarnation_;
+    ++reboots_;
+    transition(BoardState::kUp);
+  }
+
+  /// Chaos-run helpers: schedule a crash at `at`, optionally followed by a
+  /// reboot `reboot_after` later.
+  void schedule_crash(sim::Time at,
+                      sim::Time reboot_after = sim::Time::never()) {
+    engine_.schedule_at(at, [this, at, reboot_after] {
+      crash();
+      if (reboot_after != sim::Time::never()) {
+        engine_.schedule_at(at + reboot_after, [this] { reboot(); });
+      }
+    });
+  }
+  void schedule_hang(sim::Time at, sim::Time duration) {
+    engine_.schedule_at(at, [this, at, duration] {
+      hang();
+      engine_.schedule_at(at + duration, [this] { recover(); });
+    });
+  }
+
+ private:
+  void transition(BoardState next) {
+    state_ = next;
+    if (next == BoardState::kUp) {
+      last_up_at_ = engine_.now();
+    } else {
+      last_down_at_ = engine_.now();
+    }
+    if (observer_) observer_(next);
+  }
+
+  sim::Engine& engine_;
+  BoardState state_ = BoardState::kUp;
+  std::uint64_t incarnation_ = 0;
+  std::uint64_t crashes_ = 0;
+  std::uint64_t hangs_ = 0;
+  std::uint64_t reboots_ = 0;
+  sim::Time last_down_at_ = sim::Time::zero();
+  sim::Time last_up_at_ = sim::Time::zero();
+  Observer observer_;
+};
+
+}  // namespace nistream::fault

@@ -1,0 +1,87 @@
+// FaultPlane: one object owning every injector for a chaos run.
+//
+// Construction forks the profile's master seed into independent per-component
+// RNG streams (link, I2O, PCI, disk) so that raising, say, the disk fault
+// rate never perturbs which *frames* the switch drops — each component's
+// decision sequence depends only on the master seed and its own draw count.
+// Board health rides along for whole-board crash/hang/reboot choreography.
+//
+// Deliberately knows nothing about src/hw: wiring an injector into a switch
+// or disk is done by the experiment (apps/bench/tests) via each component's
+// set_fault() call, keeping the dependency arrow hw -> fault and letting a
+// test inject into a bare component without building a board.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "fault/board_health.hpp"
+#include "fault/injector.hpp"
+#include "fault/policy.hpp"
+#include "sim/random.hpp"
+
+namespace nistream::fault {
+
+class FaultPlane {
+ public:
+  FaultPlane(sim::Engine& engine, const FaultProfile& profile)
+      : profile_{profile}, health_{engine} {
+    sim::Rng master{profile.seed};
+    link_.emplace(profile.link, master.fork());
+    i2o_.emplace(profile.i2o, master.fork());
+    pci_.emplace(profile.pci, master.fork());
+    disk_.emplace(profile.disk, master.fork());
+  }
+
+  [[nodiscard]] const FaultProfile& profile() const { return profile_; }
+  [[nodiscard]] LinkFaultInjector& link() { return *link_; }
+  [[nodiscard]] I2oFaultInjector& i2o() { return *i2o_; }
+  [[nodiscard]] PciFaultInjector& pci() { return *pci_; }
+  [[nodiscard]] DiskFaultInjector& disk() { return *disk_; }
+  [[nodiscard]] BoardHealth& health() { return health_; }
+
+  /// Totals of every fault actually injected, for bench reports.
+  struct Summary {
+    std::uint64_t frames_dropped = 0;
+    std::uint64_t frames_corrupted = 0;
+    std::uint64_t i2o_inbound_dropped = 0;
+    std::uint64_t i2o_outbound_dropped = 0;
+    std::uint64_t pci_errors = 0;
+    std::uint64_t disk_read_errors = 0;
+    std::uint64_t disk_spikes = 0;
+    std::uint64_t board_crashes = 0;
+    std::uint64_t board_hangs = 0;
+    std::uint64_t board_reboots = 0;
+
+    [[nodiscard]] std::uint64_t total() const {
+      return frames_dropped + frames_corrupted + i2o_inbound_dropped +
+             i2o_outbound_dropped + pci_errors + disk_read_errors +
+             disk_spikes + board_crashes + board_hangs + board_reboots;
+    }
+  };
+
+  [[nodiscard]] Summary summary() const {
+    return {.frames_dropped = link_->drops(),
+            .frames_corrupted = link_->corruptions(),
+            .i2o_inbound_dropped = i2o_->inbound_drops(),
+            .i2o_outbound_dropped = i2o_->outbound_drops(),
+            .pci_errors = pci_->errors(),
+            .disk_read_errors = disk_->read_errors(),
+            .disk_spikes = disk_->spikes(),
+            .board_crashes = health_.crashes(),
+            .board_hangs = health_.hangs(),
+            .board_reboots = health_.reboots()};
+  }
+
+ private:
+  FaultProfile profile_;
+  // Injectors have no default ctor (policy + rng required); optional gives
+  // in-place construction after the master Rng exists.
+  std::optional<LinkFaultInjector> link_;
+  std::optional<I2oFaultInjector> i2o_;
+  std::optional<PciFaultInjector> pci_;
+  std::optional<DiskFaultInjector> disk_;
+  BoardHealth health_;
+};
+
+}  // namespace nistream::fault

@@ -1,0 +1,147 @@
+// Per-component fault injectors: a policy, a private deterministic RNG
+// stream, and counters for every fault actually injected.
+//
+// Each hw model holds an optional pointer to its injector (null by default).
+// The hooks are written so a null injector costs exactly one branch and a
+// zero-rate injector draws no random numbers — runs with fault injection
+// disabled are bit-identical (same charges, same RNG consumption, same event
+// order) to runs built before this subsystem existed.
+#pragma once
+
+#include <cstdint>
+
+#include "fault/policy.hpp"
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace nistream::fault {
+
+class LinkFaultInjector {
+ public:
+  LinkFaultInjector(const LinkFaultPolicy& policy, sim::Rng rng)
+      : policy_{policy}, rng_{rng} {}
+
+  /// Should this frame be discarded at the switch?
+  bool drop_frame() {
+    if (policy_.frame_loss_rate <= 0.0 ||
+        !rng_.chance(policy_.frame_loss_rate)) {
+      return false;
+    }
+    ++drops_;
+    return true;
+  }
+
+  /// Should this frame arrive with a bad CRC?
+  bool corrupt_frame() {
+    if (policy_.frame_corrupt_rate <= 0.0 ||
+        !rng_.chance(policy_.frame_corrupt_rate)) {
+      return false;
+    }
+    ++corruptions_;
+    return true;
+  }
+
+  [[nodiscard]] const LinkFaultPolicy& policy() const { return policy_; }
+  [[nodiscard]] std::uint64_t drops() const { return drops_; }
+  [[nodiscard]] std::uint64_t corruptions() const { return corruptions_; }
+
+ private:
+  LinkFaultPolicy policy_;
+  sim::Rng rng_;
+  std::uint64_t drops_ = 0;
+  std::uint64_t corruptions_ = 0;
+};
+
+class I2oFaultInjector {
+ public:
+  I2oFaultInjector(const I2oFaultPolicy& policy, sim::Rng rng)
+      : policy_{policy}, rng_{rng} {}
+
+  bool drop_inbound() {
+    if (policy_.inbound_drop_rate <= 0.0 ||
+        !rng_.chance(policy_.inbound_drop_rate)) {
+      return false;
+    }
+    ++inbound_drops_;
+    return true;
+  }
+
+  bool drop_outbound() {
+    if (policy_.outbound_drop_rate <= 0.0 ||
+        !rng_.chance(policy_.outbound_drop_rate)) {
+      return false;
+    }
+    ++outbound_drops_;
+    return true;
+  }
+
+  [[nodiscard]] const I2oFaultPolicy& policy() const { return policy_; }
+  [[nodiscard]] std::uint64_t inbound_drops() const { return inbound_drops_; }
+  [[nodiscard]] std::uint64_t outbound_drops() const { return outbound_drops_; }
+
+ private:
+  I2oFaultPolicy policy_;
+  sim::Rng rng_;
+  std::uint64_t inbound_drops_ = 0;
+  std::uint64_t outbound_drops_ = 0;
+};
+
+class PciFaultInjector {
+ public:
+  PciFaultInjector(const PciFaultPolicy& policy, sim::Rng rng)
+      : policy_{policy}, rng_{rng} {}
+
+  /// Did this DMA transaction abort? (The bus retries up to max_retries.)
+  bool transaction_error() {
+    if (policy_.transaction_error_rate <= 0.0 ||
+        !rng_.chance(policy_.transaction_error_rate)) {
+      return false;
+    }
+    ++errors_;
+    return true;
+  }
+
+  [[nodiscard]] const PciFaultPolicy& policy() const { return policy_; }
+  [[nodiscard]] std::uint64_t errors() const { return errors_; }
+
+ private:
+  PciFaultPolicy policy_;
+  sim::Rng rng_;
+  std::uint64_t errors_ = 0;
+};
+
+class DiskFaultInjector {
+ public:
+  DiskFaultInjector(const DiskFaultPolicy& policy, sim::Rng rng)
+      : policy_{policy}, rng_{rng} {}
+
+  bool read_error() {
+    if (policy_.read_error_rate <= 0.0 ||
+        !rng_.chance(policy_.read_error_rate)) {
+      return false;
+    }
+    ++read_errors_;
+    return true;
+  }
+
+  bool latency_spike() {
+    if (policy_.latency_spike_rate <= 0.0 ||
+        !rng_.chance(policy_.latency_spike_rate)) {
+      return false;
+    }
+    ++spikes_;
+    return true;
+  }
+
+  [[nodiscard]] const DiskFaultPolicy& policy() const { return policy_; }
+  [[nodiscard]] std::uint64_t read_errors() const { return read_errors_; }
+  [[nodiscard]] std::uint64_t spikes() const { return spikes_; }
+
+ private:
+  DiskFaultPolicy policy_;
+  sim::Rng rng_;
+  std::uint64_t read_errors_ = 0;
+  std::uint64_t spikes_ = 0;
+};
+
+}  // namespace nistream::fault

@@ -1,0 +1,75 @@
+// Fault-policy parameter blocks: what can go wrong, and how often.
+//
+// The paper's evaluation assumes a perfect testbed — a lossless switched LAN,
+// an error-free PCI segment, disks that never mis-read, an NI that never
+// crashes. A production offload design has to survive all of those, so every
+// hardware model in src/hw accepts an optional fault injector parameterized
+// by one of these policy structs. All rates default to zero: a default-
+// constructed policy injects nothing and the hooked components behave (and
+// charge) exactly as before.
+//
+// Policies are plain aggregates so experiments can sweep them the same way
+// they sweep hw::Calibration.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace nistream::fault {
+
+/// Ethernet link/switch faults: frames discarded in the switch fabric or
+/// delivered with a bad CRC (the receiver's endpoint drops those).
+struct LinkFaultPolicy {
+  double frame_loss_rate = 0.0;     // P(frame discarded at the switch)
+  double frame_corrupt_rate = 0.0;  // P(frame delivered corrupted)
+};
+
+/// I2O messaging faults: a posted message frame is written but the doorbell
+/// is lost (FIFO drop), in either direction.
+struct I2oFaultPolicy {
+  double inbound_drop_rate = 0.0;   // host -> card message lost
+  double outbound_drop_rate = 0.0;  // card -> host reply/notification lost
+};
+
+/// PCI transaction faults: a DMA transfer ends in target/master abort or a
+/// parity error and must be retried (each retry re-arbitrates and re-moves
+/// the data after a penalty).
+struct PciFaultPolicy {
+  double transaction_error_rate = 0.0;
+  int max_retries = 3;
+  sim::Time retry_penalty = sim::Time::us(10);
+};
+
+/// SCSI disk faults: an unrecoverable-read retry (the drive re-reads the
+/// sector) and thermal-recalibration-style latency spikes.
+struct DiskFaultPolicy {
+  double read_error_rate = 0.0;    // P(read must be retried)
+  int max_retries = 2;
+  double latency_spike_rate = 0.0; // P(service time multiplied by spike)
+  double spike_multiplier = 20.0;
+};
+
+/// Everything at once, plus the master seed the per-component RNG streams
+/// are forked from. Two FaultPlanes built from equal profiles make bit-
+/// identical injection decisions.
+struct FaultProfile {
+  std::uint64_t seed = 0xFA017;
+  LinkFaultPolicy link{};
+  I2oFaultPolicy i2o{};
+  PciFaultPolicy pci{};
+  DiskFaultPolicy disk{};
+
+  /// Convenience for chaos grids: every rate set to `rate`.
+  [[nodiscard]] static FaultProfile uniform(double rate, std::uint64_t seed) {
+    FaultProfile p;
+    p.seed = seed;
+    p.link = {.frame_loss_rate = rate, .frame_corrupt_rate = rate};
+    p.i2o = {.inbound_drop_rate = rate, .outbound_drop_rate = rate};
+    p.pci = {.transaction_error_rate = rate};
+    p.disk = {.read_error_rate = rate, .latency_spike_rate = rate};
+    return p;
+  }
+};
+
+}  // namespace nistream::fault

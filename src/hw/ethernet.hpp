@@ -16,6 +16,7 @@
 #include <memory>
 #include <vector>
 
+#include "fault/injector.hpp"
 #include "hw/calibration.hpp"
 #include "sim/engine.hpp"
 #include "sim/random.hpp"
@@ -31,6 +32,7 @@ struct EthFrame {
   std::shared_ptr<void> payload;     // endpoint-typed content
   int src_port = -1;
   sim::Time injected_at;             // when handed to the source port
+  bool corrupted = false;            // bad CRC on delivery; receivers discard
 };
 
 class EthernetSwitch {
@@ -70,6 +72,15 @@ class EthernetSwitch {
       ++frames_lost_;
       return;
     }
+    if (fault_ != nullptr) {
+      if (fault_->drop_frame()) {
+        ++frames_lost_;
+        return;
+      }
+      // Corrupted frames still occupy the downlink; the receiving endpoint
+      // sees the bad CRC and discards.
+      frame.corrupted = fault_->corrupt_frame();
+    }
 
     Port& dp = ports_[static_cast<std::size_t>(dst)];
     const sim::Time down_start =
@@ -94,6 +105,11 @@ class EthernetSwitch {
   [[nodiscard]] const EthernetParams& params() const { return params_; }
   [[nodiscard]] sim::Engine& engine() { return engine_; }
 
+  /// Attach a fault injector (nullptr detaches). Injection happens at the
+  /// switch, after uplink occupancy is accounted, matching the built-in loss
+  /// model's position.
+  void set_fault(fault::LinkFaultInjector* inj) { fault_ = inj; }
+
  private:
   struct Port {
     Receiver rx;
@@ -110,6 +126,7 @@ class EthernetSwitch {
   std::vector<Port> ports_;
   std::uint64_t bytes_switched_ = 0;
   std::uint64_t frames_lost_ = 0;
+  fault::LinkFaultInjector* fault_ = nullptr;
 };
 
 }  // namespace nistream::hw

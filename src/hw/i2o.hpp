@@ -16,6 +16,7 @@
 #include <optional>
 #include <vector>
 
+#include "fault/injector.hpp"
 #include "hw/calibration.hpp"
 #include "hw/cpu.hpp"
 #include "hw/pci.hpp"
@@ -104,6 +105,12 @@ class I2oChannel {
   /// FIFO after that plus the doorbell latency.
   sim::Time post_inbound(I2oMessage m) {
     const sim::Time cost = post_cost();
+    // A dropped message still cost the poster its PIO writes — the frame was
+    // written; only the doorbell (and thus delivery) is lost.
+    if (fault_ != nullptr && fault_->drop_inbound()) {
+      ++inbound_dropped_;
+      return cost;
+    }
     engine_.schedule_in(cost + params_.doorbell_latency,
                         [this, m = std::move(m)]() mutable {
                           inbound_.send(std::move(m));
@@ -115,6 +122,10 @@ class I2oChannel {
   /// Card -> host (reply/notification path).
   sim::Time post_outbound(I2oMessage m) {
     const sim::Time cost = post_cost();
+    if (fault_ != nullptr && fault_->drop_outbound()) {
+      ++outbound_dropped_;
+      return cost;
+    }
     engine_.schedule_in(cost + params_.doorbell_latency,
                         [this, m = std::move(m)]() mutable {
                           outbound_.send(std::move(m));
@@ -133,6 +144,11 @@ class I2oChannel {
   [[nodiscard]] sim::Mailbox<I2oMessage>& outbound() { return outbound_; }
   [[nodiscard]] std::uint64_t inbound_posted() const { return inbound_posted_; }
   [[nodiscard]] std::uint64_t outbound_posted() const { return outbound_posted_; }
+  [[nodiscard]] std::uint64_t inbound_dropped() const { return inbound_dropped_; }
+  [[nodiscard]] std::uint64_t outbound_dropped() const { return outbound_dropped_; }
+
+  /// Attach a fault injector (nullptr detaches).
+  void set_fault(fault::I2oFaultInjector* inj) { fault_ = inj; }
 
  private:
   sim::Engine& engine_;
@@ -142,6 +158,9 @@ class I2oChannel {
   sim::Mailbox<I2oMessage> outbound_;
   std::uint64_t inbound_posted_ = 0;
   std::uint64_t outbound_posted_ = 0;
+  std::uint64_t inbound_dropped_ = 0;
+  std::uint64_t outbound_dropped_ = 0;
+  fault::I2oFaultInjector* fault_ = nullptr;
 };
 
 }  // namespace nistream::hw

@@ -11,6 +11,7 @@
 #include <memory>
 #include <string>
 
+#include "fault/board_health.hpp"
 #include "hw/calibration.hpp"
 #include "hw/cpu.hpp"
 #include "hw/ethernet.hpp"
@@ -58,6 +59,15 @@ class NicBoard {
   [[nodiscard]] int eth_port(int i) const { return eth_ports_.at(static_cast<std::size_t>(i)); }
   [[nodiscard]] ScsiDisk& disk(int i) { return *disks_.at(static_cast<std::size_t>(i)); }
 
+  /// Attach a health state machine (nullptr detaches; healthy when absent).
+  /// Firmware layers stacked on this board (DVCM runtime, stream service)
+  /// consult it to stall or wipe on crash/hang.
+  void set_health(fault::BoardHealth* h) { health_ = h; }
+  [[nodiscard]] fault::BoardHealth* health() { return health_; }
+  [[nodiscard]] bool alive() const {
+    return health_ == nullptr || health_->alive();
+  }
+
  private:
   std::string name_;
   sim::Engine& engine_;
@@ -69,6 +79,7 @@ class NicBoard {
   I2oChannel i2o_;
   std::array<int, 2> eth_ports_{};
   std::array<std::unique_ptr<ScsiDisk>, 2> disks_{};
+  fault::BoardHealth* health_ = nullptr;
 };
 
 }  // namespace nistream::hw

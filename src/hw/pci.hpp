@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "fault/injector.hpp"
 #include "hw/calibration.hpp"
 #include "sim/coro.hpp"
 #include "sim/engine.hpp"
@@ -38,6 +39,18 @@ class PciBus {
     co_await grant_.acquire();
     const sim::Time start = engine_.now();
     co_await sim::Delay{engine_, dma_duration(bytes)};
+    // Fault model: a target/master abort wastes the whole transfer slot; the
+    // initiator backs off for the retry penalty and re-moves the data, still
+    // holding its grant (retries re-serialize on the same arbitration win).
+    if (fault_ != nullptr) {
+      const int max_retries = fault_->policy().max_retries;
+      for (int attempt = 0; attempt < max_retries; ++attempt) {
+        if (!fault_->transaction_error()) break;
+        ++dma_retries_;
+        co_await sim::Delay{engine_, fault_->policy().retry_penalty +
+                                         dma_duration(bytes)};
+      }
+    }
     busy_ += engine_.now() - start;
     bytes_moved_ += bytes;
     ++transfers_;
@@ -57,9 +70,13 @@ class PciBus {
 
   [[nodiscard]] std::uint64_t bytes_moved() const { return bytes_moved_; }
   [[nodiscard]] std::uint64_t transfers() const { return transfers_; }
+  [[nodiscard]] std::uint64_t dma_retries() const { return dma_retries_; }
   [[nodiscard]] sim::Time busy_time() const { return busy_; }
   [[nodiscard]] const PciParams& params() const { return params_; }
   [[nodiscard]] sim::Engine& engine() { return engine_; }
+
+  /// Attach a fault injector (nullptr detaches).
+  void set_fault(fault::PciFaultInjector* inj) { fault_ = inj; }
 
  private:
   sim::Engine& engine_;
@@ -67,7 +84,9 @@ class PciBus {
   sim::Semaphore grant_;
   std::uint64_t bytes_moved_ = 0;
   std::uint64_t transfers_ = 0;
+  std::uint64_t dma_retries_ = 0;
   sim::Time busy_ = sim::Time::zero();
+  fault::PciFaultInjector* fault_ = nullptr;
 };
 
 }  // namespace nistream::hw

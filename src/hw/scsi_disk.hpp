@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "fault/injector.hpp"
 #include "hw/calibration.hpp"
 #include "sim/coro.hpp"
 #include "sim/engine.hpp"
@@ -32,9 +33,29 @@ class ScsiDisk {
   ///   co_await disk.read(offset, bytes);
   sim::Coro read(std::uint64_t offset, std::uint64_t bytes) {
     co_await gate_.acquire();
-    const sim::Time t = service_time(offset, bytes);
+    sim::Time t = service_time(offset, bytes);
+    if (fault_ != nullptr) {
+      // Thermal-recal-style latency spike: the whole request stretches.
+      if (fault_->latency_spike()) {
+        t = sim::Time::us(t.to_us() * fault_->policy().spike_multiplier);
+      }
+    }
     latency_.add(t.to_ms());
     co_await sim::Delay{engine_, t};
+    if (fault_ != nullptr) {
+      // Unrecoverable-read retries: the drive re-reads the same sectors,
+      // paying the media-transfer portion again per attempt (head is already
+      // positioned, so no fresh seek).
+      const int max_retries = fault_->policy().max_retries;
+      for (int attempt = 0; attempt < max_retries; ++attempt) {
+        if (!fault_->read_error()) break;
+        ++read_retries_;
+        const sim::Time rr = params_.request_overhead +
+            sim::Time::sec(static_cast<double>(bytes) / params_.bytes_per_sec);
+        latency_.add(rr.to_ms());
+        co_await sim::Delay{engine_, rr};
+      }
+    }
     bytes_read_ += bytes;
     ++requests_;
     gate_.release();
@@ -52,8 +73,12 @@ class ScsiDisk {
 
   [[nodiscard]] std::uint64_t bytes_read() const { return bytes_read_; }
   [[nodiscard]] std::uint64_t requests() const { return requests_; }
+  [[nodiscard]] std::uint64_t read_retries() const { return read_retries_; }
   [[nodiscard]] const sim::RunningStat& latency_ms() const { return latency_; }
   [[nodiscard]] const DiskParams& params() const { return params_; }
+
+  /// Attach a fault injector (nullptr detaches).
+  void set_fault(fault::DiskFaultInjector* inj) { fault_ = inj; }
 
  private:
   /// Mechanical service time; mutates head position state.
@@ -81,7 +106,9 @@ class ScsiDisk {
   std::uint64_t last_end_ = 0;
   std::uint64_t bytes_read_ = 0;
   std::uint64_t requests_ = 0;
+  std::uint64_t read_retries_ = 0;
   sim::RunningStat latency_;
+  fault::DiskFaultInjector* fault_ = nullptr;
 };
 
 }  // namespace nistream::hw

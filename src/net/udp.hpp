@@ -73,10 +73,16 @@ class UdpEndpoint {
   [[nodiscard]] std::uint64_t packets_sent() const { return sent_; }
   [[nodiscard]] std::uint64_t packets_received() const { return received_; }
   [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
+  [[nodiscard]] std::uint64_t corrupt_dropped() const { return corrupt_dropped_; }
   [[nodiscard]] sim::Time stack_cost() const { return stack_cost_; }
 
  private:
   void on_frame(const hw::EthFrame& f) {
+    if (f.corrupted) {
+      // Bad CRC: UDP has no retransmit, the datagram is simply gone.
+      ++corrupt_dropped_;
+      return;
+    }
     auto pkt = std::static_pointer_cast<Packet>(f.payload);
     if (!pkt) return;  // not one of ours
     engine_.schedule_in(stack_cost_, [this, pkt] {
@@ -93,6 +99,7 @@ class UdpEndpoint {
   std::uint64_t sent_ = 0;
   std::uint64_t received_ = 0;
   std::uint64_t bytes_sent_ = 0;
+  std::uint64_t corrupt_dropped_ = 0;
 };
 
 /// Stack-cost presets (see calibration rationale in hw/calibration.hpp).

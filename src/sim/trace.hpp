@@ -47,6 +47,14 @@ class Trace {
   }
   [[nodiscard]] std::uint64_t total_recorded() const { return total_; }
   [[nodiscard]] std::uint64_t dropped_oldest() const { return dropped_; }
+  /// Fraction of recorded events that have fallen off the front. Anything
+  /// above 0 means the CSV is a suffix of the run, not the whole story —
+  /// chaos runs check this before trusting a trace.
+  [[nodiscard]] double drop_rate() const {
+    return total_ == 0
+               ? 0.0
+               : static_cast<double>(dropped_) / static_cast<double>(total_);
+  }
   void clear() { records_.clear(); }
 
   /// Number of records matching a category (and optional label).
@@ -59,8 +67,12 @@ class Trace {
     return n;
   }
 
-  /// "time_ms,category,label,a,b,value" rows.
+  /// "time_ms,category,label,a,b,value" rows. The leading comment line
+  /// carries the truncation counters so a reader can tell a complete trace
+  /// from the surviving suffix of one.
   void write_csv(std::ostream& os) const {
+    os << "# total=" << total_ << " dropped=" << dropped_
+       << " drop_rate=" << drop_rate() << '\n';
     os << "time_ms,category,label,a,b,value\n";
     for (const auto& r : records_) {
       os << r.at.to_ms() << ',' << r.category << ',' << r.label << ',' << r.a

@@ -1,0 +1,205 @@
+// End-to-end failover choreography: NI crash mid-stream, watchdog trip, host
+// takeover, board reboot, fail-back — plus the supporting machinery
+// (checkpoint/restore, backlog purge, offline admission rejection).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "apps/client.hpp"
+#include "apps/failover_server.hpp"
+#include "fault/fault_plane.hpp"
+#include "sim/engine.hpp"
+
+namespace nistream::apps {
+namespace {
+
+using sim::Time;
+
+constexpr Time kPeriod = Time::ms(33);
+
+/// Timer-paced producer through the failover router; no disk, no retry.
+sim::Coro paced_producer(sim::Engine& eng, FailoverMediaServer& server,
+                         dwcs::StreamId id, Time phase, Time until) {
+  co_await sim::Delay{eng, kPeriod + phase};
+  for (;;) {
+    if (eng.now() >= until) co_return;
+    (void)server.enqueue(id, 1000, mpeg::FrameType::kP);
+    co_await sim::Delay{eng, kPeriod};
+  }
+}
+
+FailoverMediaServer::Config rig_config() {
+  FailoverMediaServer::Config cfg;
+  // Anchor deadlines to completion: with a fixed grid, VCM dispatch
+  // serialization makes the last of several tied streams permanently late.
+  cfg.service.scheduler.deadline_from_completion = true;
+  return cfg;
+}
+
+struct Rig {
+  sim::Engine eng;
+  hostos::HostMachine host{eng, 2};
+  hw::PciBus bus{eng};
+  hw::EthernetSwitch ether{eng};
+  fault::FaultPlane plane{eng, fault::FaultProfile{}};  // zero rates
+  FailoverMediaServer server{host, bus, ether, rig_config()};
+  MpegClient client{eng, ether};
+
+  Rig() { server.ni().attach_health(plane.health()); }
+
+  dwcs::StreamId add_stream(std::size_t i, Time until) {
+    const auto id = server.create_stream(
+        {.tolerance = {1, 4}, .period = kPeriod, .lossy = true},
+        client.port());
+    paced_producer(eng, server, id,
+                   Time::us(700.0 * static_cast<double>(i)), until)
+        .detach();
+    return id;
+  }
+};
+
+TEST(Failover, CrashMidStreamTripsWatchdogAndHostTakesOver) {
+  Rig rig;
+  for (std::size_t i = 0; i < 4; ++i) rig.add_stream(i, Time::sec(4));
+  // Crash at 1 s; no reboot — the board stays dead.
+  rig.plane.health().schedule_crash(Time::sec(1));
+  rig.eng.run_until(Time::sec(4));
+
+  EXPECT_TRUE(rig.server.degraded());
+  EXPECT_EQ(rig.server.watchdog().trips(), 1u);
+  const auto m = rig.server.metrics();
+  EXPECT_EQ(m.failovers, 1u);
+  EXPECT_EQ(m.failbacks, 0u);
+  // Detection latency: max_missed probes at ~interval cadence plus timeout.
+  EXPECT_GT(m.failover_latency_ms, 0.0);
+  EXPECT_LT(m.failover_latency_ms, 1000.0);
+  ASSERT_NE(rig.server.host_server(), nullptr);
+  EXPECT_EQ(rig.server.host_server()->service().scheduler().stream_count(),
+            4u);
+
+  // The host scheduler kept the tap running: clients saw frames after the
+  // crash, and the board outage shows up as a bounded violation burst, not
+  // a collapse.
+  for (std::uint64_t sid = 0; sid < 4; ++sid) {
+    EXPECT_GT(rig.client.frames_received(sid), 60u);
+    EXPECT_LT(rig.server.monitor().violation_rate(
+                  static_cast<dwcs::StreamId>(sid)),
+              0.5);
+  }
+}
+
+TEST(Failover, RebootBringsTheNiBackAndFailsBack) {
+  Rig rig;
+  for (std::size_t i = 0; i < 4; ++i) rig.add_stream(i, Time::sec(5));
+  rig.plane.health().schedule_crash(Time::sec(1),
+                                    /*reboot_after=*/Time::ms(800));
+  rig.eng.run_until(Time::sec(5));
+
+  EXPECT_FALSE(rig.server.degraded());  // back on the NI
+  const auto m = rig.server.metrics();
+  EXPECT_EQ(m.failovers, 1u);
+  EXPECT_EQ(m.failbacks, 1u);
+  EXPECT_GT(m.recovery_time_ms, m.failover_latency_ms);
+  EXPECT_EQ(rig.server.watchdog().recoveries(), 1u);
+  // The ack that triggered recovery carried the post-reboot incarnation.
+  EXPECT_EQ(rig.server.watchdog().last_ack_incarnation(), 1u);
+  EXPECT_EQ(rig.plane.health().incarnation(), 1u);
+  // Streams flow end to end again after fail-back.
+  for (std::uint64_t sid = 0; sid < 4; ++sid) {
+    EXPECT_GT(rig.client.frames_received(sid), 80u);
+  }
+}
+
+TEST(Failover, StreamsAdmittedWhileDegradedSurviveFailback) {
+  Rig rig;
+  for (std::size_t i = 0; i < 2; ++i) rig.add_stream(i, Time::sec(5));
+  rig.plane.health().schedule_crash(Time::sec(1),
+                                    /*reboot_after=*/Time::ms(800));
+  // Admit two more streams while the host is serving (watchdog trips by
+  // ~1.4 s; board back by ~2.5 s worst case).
+  rig.eng.run_until(Time::ms(1500));
+  ASSERT_TRUE(rig.server.degraded());
+  for (std::size_t i = 2; i < 4; ++i) rig.add_stream(i, Time::sec(5));
+  rig.eng.run_until(Time::sec(5));
+
+  EXPECT_FALSE(rig.server.degraded());
+  // Fail-back re-admitted the degraded-mode streams into the NI scheduler:
+  // both sides agree on the 4-stream id space, and the late-admitted
+  // streams are being served by the NI.
+  EXPECT_EQ(rig.server.ni().service().scheduler().stream_count(), 4u);
+  for (std::uint64_t sid = 2; sid < 4; ++sid) {
+    EXPECT_GT(rig.client.frames_received(sid), 40u);
+  }
+}
+
+TEST(Failover, PurgeMakesQueuedFrameLossVisible) {
+  Rig rig;
+  const auto id = rig.server.create_stream(
+      {.tolerance = {1, 4}, .period = kPeriod, .lossy = true},
+      rig.client.port());
+  // Queue frames but stop the clock before any dispatch: they sit in the
+  // NI ring when the board dies.
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(rig.server.enqueue(id, 1000, mpeg::FrameType::kP));
+  }
+  const auto before = rig.server.monitor().packets(id);
+  rig.plane.health().crash();
+  rig.eng.run_until(Time::sec(1));  // watchdog trips, fail_over purges
+
+  const auto m = rig.server.metrics();
+  EXPECT_EQ(m.failovers, 1u);
+  EXPECT_EQ(m.frames_purged, 5u);
+  // Every purged frame was recorded against the stream's window.
+  EXPECT_EQ(rig.server.monitor().packets(id), before + 5);
+}
+
+TEST(Failover, OfflineBoardRejectsAdmission) {
+  Rig rig;
+  const auto id = rig.server.create_stream(
+      {.tolerance = {1, 4}, .period = kPeriod, .lossy = true},
+      rig.client.port());
+  rig.plane.health().crash();
+  // Before the watchdog notices, enqueues hit the dead NI service and are
+  // refused (and recorded as drops by the router).
+  EXPECT_FALSE(rig.server.enqueue(id, 1000, mpeg::FrameType::kP));
+  EXPECT_EQ(rig.server.ni().service().rejected_offline(), 1u);
+  EXPECT_EQ(rig.server.metrics().frames_rejected, 1u);
+}
+
+TEST(Failover, CheckpointRoundTripsStreamState) {
+  Rig rig;
+  rig.server.create_stream(
+      {.tolerance = {1, 4}, .period = kPeriod, .lossy = true},
+      rig.client.port());
+  rig.server.create_stream(
+      {.tolerance = {2, 8}, .period = Time::ms(40), .lossy = false},
+      rig.client.port());
+  const auto snap = rig.server.ni().service().checkpoint();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].id, 0u);
+  EXPECT_EQ(snap[1].id, 1u);
+  EXPECT_EQ(snap[1].params.tolerance.x, 2);
+  EXPECT_EQ(snap[1].params.tolerance.y, 8);
+  EXPECT_EQ(snap[1].params.period, Time::ms(40));
+  EXPECT_FALSE(snap[1].params.lossy);
+  EXPECT_EQ(snap[0].client_port, rig.client.port());
+
+  // Restoring into a fresh host scheduler reproduces the id space.
+  HostSchedulerServer standby{rig.host, rig.ether};
+  standby.service().restore(snap);
+  EXPECT_EQ(standby.service().scheduler().stream_count(), 2u);
+}
+
+TEST(Failover, NoFaultsMeansNoFailoverAndNoViolations) {
+  Rig rig;
+  for (std::size_t i = 0; i < 4; ++i) rig.add_stream(i, Time::sec(3));
+  rig.eng.run_until(Time::sec(3));
+  EXPECT_FALSE(rig.server.degraded());
+  EXPECT_EQ(rig.server.watchdog().trips(), 0u);
+  EXPECT_GT(rig.server.watchdog().acks_received(), 20u);
+  EXPECT_EQ(rig.server.metrics().failovers, 0u);
+  EXPECT_EQ(rig.server.monitor().total_violating_windows(), 0u);
+}
+
+}  // namespace
+}  // namespace nistream::apps

@@ -29,6 +29,14 @@ TEST(Trace, BoundedCapacityDropsOldest) {
   EXPECT_EQ(t.records().front().a, 2u);  // 0 and 1 fell off
   EXPECT_EQ(t.dropped_oldest(), 2u);
   EXPECT_EQ(t.total_recorded(), 5u);
+  EXPECT_DOUBLE_EQ(t.drop_rate(), 2.0 / 5.0);
+}
+
+TEST(Trace, DropRateZeroWhenEmptyOrUntruncated) {
+  Trace t{8};
+  EXPECT_DOUBLE_EQ(t.drop_rate(), 0.0);  // no division by zero when empty
+  t.record(Time::ms(1), "c", "l");
+  EXPECT_DOUBLE_EQ(t.drop_rate(), 0.0);
 }
 
 TEST(Trace, CsvFormat) {
@@ -37,7 +45,17 @@ TEST(Trace, CsvFormat) {
   std::ostringstream os;
   t.write_csv(os);
   EXPECT_EQ(os.str(),
+            "# total=1 dropped=0 drop_rate=0\n"
             "time_ms,category,label,a,b,value\n1.5,dwcs,dispatch,7,8,2.5\n");
+}
+
+TEST(Trace, CsvHeaderReportsTruncation) {
+  Trace t{2};
+  for (int i = 0; i < 4; ++i) t.record(Time::ms(i), "c", "l");
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str().substr(0, os.str().find('\n')),
+            "# total=4 dropped=2 drop_rate=0.5");
 }
 
 TEST(Trace, SinkOffIsFree) {
