@@ -300,7 +300,7 @@ void write_json(const std::vector<CellResult>& cells, const std::string& path,
 
 int main(int argc, char** argv) {
   const std::string out_path =
-      bench::positional(argc, argv, "BENCH_chaos.json");
+      bench::out_path(argc, argv, "BENCH_chaos.json");
   const std::uint64_t seed = bench::flag_u64(argc, argv, "seed", 0xFA017);
 
   const std::vector<double> rates{0.0, 0.01, 0.05};

@@ -36,15 +36,52 @@ inline std::uint64_t flag_u64(int argc, char** argv, std::string_view name,
   return fallback;
 }
 
-/// First argv entry that is not a `--flag`, or `fallback`. Benches use this
-/// for their output path.
+/// Value of `--<name>=<str>` or `--<name> <str>` in argv, or `fallback`
+/// when absent. A flag present without a value is a hard error.
+inline std::string flag_str(int argc, char** argv, std::string_view name,
+                            std::string_view fallback) {
+  const std::string prefix = "--" + std::string{name};
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg{argv[i]};
+    if (!arg.starts_with(prefix)) continue;
+    if (arg.size() == prefix.size()) {  // --name <value>
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", prefix.c_str());
+        std::exit(2);
+      }
+      return argv[i + 1];
+    }
+    if (arg[prefix.size()] == '=') {  // --name=<value>
+      return std::string{arg.substr(prefix.size() + 1)};
+    }
+    // A longer flag sharing the prefix (--outdir vs --out): not ours.
+  }
+  return std::string{fallback};
+}
+
+/// First argv entry that is not a `--flag` (and not the value of a
+/// space-separated `--out <path>`), or `fallback`. Benches use this for
+/// their output path.
 inline std::string positional(int argc, char** argv,
                               std::string_view fallback) {
   for (int i = 1; i < argc; ++i) {
-    if (std::string_view{argv[i]}.starts_with("--")) continue;
+    const std::string_view arg{argv[i]};
+    if (arg == "--out") {  // next entry is its value, not a positional
+      ++i;
+      continue;
+    }
+    if (arg.starts_with("--")) continue;
     return argv[i];
   }
   return std::string{fallback};
+}
+
+/// Where a bench should write its JSON: `--out <path>` / `--out=<path>`
+/// wins, then the legacy positional path, then `fallback`.
+inline std::string out_path(int argc, char** argv, std::string_view fallback) {
+  const std::string flagged = flag_str(argc, argv, "out", "");
+  if (!flagged.empty()) return flagged;
+  return positional(argc, argv, fallback);
 }
 
 }  // namespace nistream::bench

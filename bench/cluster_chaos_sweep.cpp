@@ -1,0 +1,298 @@
+// Cluster chaos sweep: NI-to-NI failover under a scripted board crash,
+// measured across cluster sizes and load levels.
+//
+// Each cell builds a ClusterControlPlane over N scheduler-NIs, admits a
+// stream population (capacity shaped by an inflated per-frame CPU cost so
+// the interesting spill regimes are reachable with few streams), crashes
+// board 0 at 2 s, reboots it at 3 s, and runs to 6 s. Every cell runs
+// TWICE with the same seed and the two charge fingerprints must be
+// identical — replay determinism is an acceptance criterion, not a test
+// afterthought.
+//
+// What the JSON proves (the acceptance criteria of the cluster work):
+//  * while siblings have admission headroom, host takeovers == 0 — the
+//    board death is absorbed NI-to-NI, the host stays out of the data path;
+//  * a deliberately tight cell (every sibling full) spills the remainder to
+//    the host instead of refusing service;
+//  * re-admission completes within 2x the single-board failover detection
+//    latency (~251 ms in PR 2's chaos sweep -> 502 ms bound);
+//  * one scripted crash -> exactly one failover and, after the reboot, one
+//    fail-back with every migrated stream drained home.
+// The bench exits nonzero when any property fails, so CI can gate on it.
+//
+// Reproducible from the command line:
+//   cluster_chaos_sweep [--out out.json] [--seed=u64]
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/client.hpp"
+#include "cli.hpp"
+#include "cluster/control_plane.hpp"
+#include "fault/board_health.hpp"
+#include "sim/random.hpp"
+
+using namespace nistream;
+
+namespace {
+
+constexpr sim::Time kRunFor = sim::Time::sec(6);
+constexpr sim::Time kCrashAt = sim::Time::sec(2);
+constexpr sim::Time kRebootAfter = sim::Time::sec(1);
+constexpr sim::Time kFramePeriod = sim::Time::ms(33);
+// Inflated per-frame NI CPU cost: 3.3 ms at a 33 ms period = 0.1 CPU per
+// stream, so one board holds 9 streams under the 0.90 headroom. Small
+// per-board capacity keeps the spill cells cheap to run while exercising
+// exactly the same re-admission arithmetic as a 300-stream board would.
+constexpr sim::Time kPerFrameCpu = sim::Time::us(3300);
+constexpr std::size_t kPerBoardCapacity = 9;
+
+struct CellSpec {
+  int boards;
+  std::size_t streams;
+  /// Expected spill count with board 0 dead: victims that exceed the
+  /// surviving boards' joint headroom.
+  bool expect_spill;
+};
+
+struct CellResult {
+  CellSpec spec{};
+  std::uint64_t streams_placed = 0;
+  std::uint64_t frames_enqueued = 0;
+  std::uint64_t frames_delivered = 0;
+  std::uint64_t frames_rejected = 0;
+  std::uint64_t frames_purged = 0;
+  std::uint64_t violating_windows = 0;
+  std::uint64_t failovers = 0;
+  std::uint64_t failbacks = 0;
+  std::uint64_t migrations_completed = 0;
+  std::uint64_t drainbacks_completed = 0;
+  std::uint64_t host_takeovers = 0;
+  std::uint64_t stale_adoptions = 0;
+  double failover_latency_ms = 0;
+  double readmission_complete_ms = 0;
+  double recovery_time_ms = 0;
+  std::uint64_t charge_fingerprint = 0;  // summed per-board CPU cycles
+  bool replay_identical = true;
+  bool ok = true;
+  std::string fail_reason;
+};
+
+sim::Coro paced_producer(sim::Engine& eng, cluster::ClusterControlPlane& plane,
+                         cluster::GlobalStreamId id, std::uint64_t seed,
+                         sim::Time phase, std::uint64_t* enqueued) {
+  sim::Rng rng{seed};
+  co_await sim::Delay{eng, kFramePeriod + phase};
+  for (;;) {
+    if (eng.now() >= kRunFor) co_return;
+    const auto bytes = static_cast<std::uint32_t>(
+        std::max(128.0, rng.normal(1000.0, 150.0)));
+    if (plane.enqueue(id, bytes, mpeg::FrameType::kP)) ++(*enqueued);
+    co_await sim::Delay{eng, kFramePeriod};
+  }
+}
+
+CellResult run_once(const CellSpec& spec, std::uint64_t seed) {
+  CellResult r;
+  r.spec = spec;
+
+  sim::Engine eng;
+  hostos::HostMachine host{eng, 2};
+  hw::EthernetSwitch ether{eng};
+  apps::MpegClient client{eng, ether};
+
+  cluster::ClusterControlPlane::Config cfg;
+  cfg.boards = spec.boards;
+  cfg.service.scheduler.deadline_from_completion = true;
+  cfg.per_frame_cpu = kPerFrameCpu;
+  cluster::ClusterControlPlane plane{host, ether, cfg};
+
+  std::vector<std::unique_ptr<fault::BoardHealth>> health;
+  for (int b = 0; b < spec.boards; ++b) {
+    health.push_back(std::make_unique<fault::BoardHealth>(eng));
+    plane.attach_health(b, *health.back());
+  }
+  health[0]->schedule_crash(kCrashAt, kRebootAfter);
+
+  std::uint64_t enqueued = 0;
+  for (std::size_t i = 0; i < spec.streams; ++i) {
+    const auto id = plane.open_stream(
+        {.tolerance = {1, 4}, .period = kFramePeriod, .lossy = true}, 1000,
+        client.port());
+    if (!id) continue;
+    paced_producer(eng, plane, *id, seed ^ (0x9E3779B97F4A7C15ull * (i + 1)),
+                   sim::Time::us(733.0 * static_cast<double>(i)), &enqueued)
+        .detach();
+  }
+  eng.run_until(kRunFor);
+
+  const auto& m = plane.metrics();
+  r.streams_placed = plane.streams_opened();
+  r.frames_enqueued = enqueued;
+  r.frames_delivered = client.total_frames();
+  r.frames_rejected = m.frames_rejected;
+  r.frames_purged = m.frames_purged;
+  r.violating_windows = plane.monitor().total_violating_windows();
+  r.failovers = m.failovers;
+  r.failbacks = m.failbacks;
+  r.migrations_completed = m.migrations_completed;
+  r.drainbacks_completed = m.drainbacks_completed;
+  r.host_takeovers = m.host_takeover_streams;
+  r.stale_adoptions = m.stale_adoptions;
+  r.failover_latency_ms = m.failover_latency_ms;
+  r.readmission_complete_ms = m.readmission_complete_ms;
+  r.recovery_time_ms = m.recovery_time_ms;
+  for (int b = 0; b < spec.boards; ++b) {
+    r.charge_fingerprint += static_cast<std::uint64_t>(
+        plane.ni(b).board().cpu().cycles());
+  }
+  return r;
+}
+
+CellResult run_cell(const CellSpec& spec, std::uint64_t seed) {
+  // Same-seed replay: the control plane's choreography must be
+  // deterministic down to the charge stream.
+  CellResult r = run_once(spec, seed);
+  const CellResult again = run_once(spec, seed);
+  r.replay_identical =
+      r.charge_fingerprint == again.charge_fingerprint &&
+      r.frames_delivered == again.frames_delivered &&
+      r.violating_windows == again.violating_windows &&
+      r.migrations_completed == again.migrations_completed &&
+      r.host_takeovers == again.host_takeovers;
+
+  auto fail = [&r](const std::string& why) {
+    r.ok = false;
+    r.fail_reason += (r.fail_reason.empty() ? "" : "; ") + why;
+  };
+  if (!r.replay_identical) fail("same-seed replay diverged");
+  if (r.failovers != 1) fail("expected exactly one failover");
+  if (r.failbacks != 1) fail("expected exactly one fail-back after reboot");
+  if (spec.expect_spill) {
+    if (r.host_takeovers == 0) {
+      fail("tight cell should have spilled to the host");
+    }
+  } else {
+    // The headline property: siblings with headroom absorb the board death
+    // entirely — the host never enters the data path.
+    if (r.host_takeovers != 0) {
+      fail("host takeover despite sibling headroom");
+    }
+  }
+  // Re-admission bound: 2x the single-board failover detection latency
+  // measured by PR 2's chaos sweep (~251 ms).
+  if (r.readmission_complete_ms <= 0 || r.readmission_complete_ms > 502.0) {
+    fail("re-admission took " + std::to_string(r.readmission_complete_ms) +
+         " ms (bound 502)");
+  }
+  if (r.frames_delivered < r.frames_enqueued / 2) {
+    fail("fewer than half the enqueued frames were delivered");
+  }
+  return r;
+}
+
+void write_json(const std::vector<CellResult>& cells, const std::string& path,
+                std::uint64_t seed, bool all_ok) {
+  std::ofstream out{path};
+  if (!out) {
+    std::printf("could not write %s\n", path.c_str());
+    return;
+  }
+  out << "{\n  \"bench\": \"cluster_chaos_sweep\",\n"
+      << "  \"seed\": " << seed << ",\n"
+      << "  \"run_sec\": " << kRunFor.to_sec() << ",\n"
+      << "  \"crash_at_sec\": " << kCrashAt.to_sec() << ",\n"
+      << "  \"reboot_after_sec\": " << kRebootAfter.to_sec() << ",\n"
+      << "  \"per_board_capacity\": " << kPerBoardCapacity << ",\n"
+      << "  \"ok\": " << (all_ok ? "true" : "false") << ",\n"
+      << "  \"cells\": [\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const auto& c = cells[i];
+    char buf[1024];
+    std::snprintf(
+        buf, sizeof buf,
+        "    {\"boards\": %d, \"streams\": %zu, \"expect_spill\": %s,\n"
+        "     \"placed\": %llu, \"enqueued\": %llu, \"delivered\": %llu, "
+        "\"rejected\": %llu, \"purged\": %llu,\n"
+        "     \"violating_windows\": %llu, \"failovers\": %llu, "
+        "\"failbacks\": %llu, \"migrations\": %llu, \"drainbacks\": %llu, "
+        "\"host_takeovers\": %llu, \"stale_adoptions\": %llu,\n"
+        "     \"failover_latency_ms\": %.3f, "
+        "\"readmission_complete_ms\": %.3f, \"recovery_time_ms\": %.3f,\n"
+        "     \"charge_fingerprint\": %llu, \"replay_identical\": %s, "
+        "\"ok\": %s%s%s%s}",
+        c.spec.boards, c.spec.streams, c.spec.expect_spill ? "true" : "false",
+        static_cast<unsigned long long>(c.streams_placed),
+        static_cast<unsigned long long>(c.frames_enqueued),
+        static_cast<unsigned long long>(c.frames_delivered),
+        static_cast<unsigned long long>(c.frames_rejected),
+        static_cast<unsigned long long>(c.frames_purged),
+        static_cast<unsigned long long>(c.violating_windows),
+        static_cast<unsigned long long>(c.failovers),
+        static_cast<unsigned long long>(c.failbacks),
+        static_cast<unsigned long long>(c.migrations_completed),
+        static_cast<unsigned long long>(c.drainbacks_completed),
+        static_cast<unsigned long long>(c.host_takeovers),
+        static_cast<unsigned long long>(c.stale_adoptions),
+        c.failover_latency_ms, c.readmission_complete_ms, c.recovery_time_ms,
+        static_cast<unsigned long long>(c.charge_fingerprint),
+        c.replay_identical ? "true" : "false", c.ok ? "true" : "false",
+        c.ok ? "" : ", \"fail_reason\": \"", c.ok ? "" : c.fail_reason.c_str(),
+        c.ok ? "" : "\"");
+    out << buf << (i + 1 < cells.size() ? ",\n" : "\n");
+  }
+  out << "  ]\n}\n";
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path =
+      bench::out_path(argc, argv, "BENCH_cluster.json");
+  const std::uint64_t seed = bench::flag_u64(argc, argv, "seed", 0xC1A57);
+
+  // Cells: (boards, streams). Light cells leave sibling headroom (board 0's
+  // share fits on the survivors); the tight 2-board cell fills both boards
+  // so the evacuation must spill.
+  const std::vector<CellSpec> cells_spec{
+      {.boards = 3, .streams = 6, .expect_spill = false},
+      {.boards = 3, .streams = 12, .expect_spill = false},
+      {.boards = 2, .streams = 8, .expect_spill = false},
+      {.boards = 2, .streams = 18, .expect_spill = true},
+  };
+
+  std::printf("==== cluster chaos sweep: NI-to-NI failover, seed=%llu ====\n",
+              static_cast<unsigned long long>(seed));
+  std::printf("%7s %8s %7s %10s %9s %6s %6s %6s %11s %11s %7s %5s\n", "boards",
+              "streams", "placed", "delivered", "migrated", "drain", "spill",
+              "viol", "detect_ms", "readmit_ms", "replay", "ok");
+  std::vector<CellResult> cells;
+  bool all_ok = true;
+  for (const auto& spec : cells_spec) {
+    const std::uint64_t cell_seed =
+        seed ^ (static_cast<std::uint64_t>(spec.boards) << 32) ^ spec.streams;
+    const auto c = run_cell(spec, cell_seed);
+    std::printf("%7d %8zu %7llu %10llu %9llu %6llu %6llu %6llu %11.2f %11.2f "
+                "%7s %5s\n",
+                c.spec.boards, c.spec.streams,
+                static_cast<unsigned long long>(c.streams_placed),
+                static_cast<unsigned long long>(c.frames_delivered),
+                static_cast<unsigned long long>(c.migrations_completed),
+                static_cast<unsigned long long>(c.drainbacks_completed),
+                static_cast<unsigned long long>(c.host_takeovers),
+                static_cast<unsigned long long>(c.violating_windows),
+                c.failover_latency_ms, c.readmission_complete_ms,
+                c.replay_identical ? "same" : "DIFF", c.ok ? "yes" : "NO");
+    if (!c.ok) {
+      std::printf("        ^ FAIL: %s\n", c.fail_reason.c_str());
+      all_ok = false;
+    }
+    cells.push_back(c);
+  }
+  write_json(cells, out_path, seed, all_ok);
+  return all_ok ? 0 : 1;
+}

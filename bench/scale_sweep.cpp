@@ -197,7 +197,7 @@ bool write_json(const std::vector<SweepResult>& results,
 
 int main(int argc, char** argv) {
   const std::string out_path =
-      bench::positional(argc, argv, "BENCH_scale.json");
+      bench::out_path(argc, argv, "BENCH_scale.json");
   const std::uint64_t seed = bench::flag_u64(argc, argv, "seed", 0x5ca1e);
   const std::vector<std::size_t> sizes{1'000, 10'000, 100'000};
   const std::vector<dwcs::ReprKind> kinds{

@@ -29,6 +29,7 @@
 
 #include "apps/media_server.hpp"
 #include "apps/producer.hpp"
+#include "cluster/placement.hpp"
 #include "dwcs/admission.hpp"
 #include "mpeg/frame.hpp"
 #include "sim/coro.hpp"
@@ -76,15 +77,12 @@ class ServerNode {
         .tolerance = params.tolerance,
         .period = params.period,
         .mean_frame_bytes = mean_frame_bytes};
-    int best = -1;
-    for (int i = 0; i < static_cast<int>(nis_.size()); ++i) {
-      const auto& ni = *nis_[static_cast<std::size_t>(i)];
-      if (!ni.admission->would_admit(req)) continue;
-      if (best < 0 || total_load(ni) <
-                          total_load(*nis_[static_cast<std::size_t>(best)])) {
-        best = i;
-      }
-    }
+    const int best = cluster::pick_least_loaded(
+        static_cast<int>(nis_.size()),
+        [this](int i) { return total_load(*nis_[static_cast<std::size_t>(i)]); },
+        [this, &req](int i) {
+          return nis_[static_cast<std::size_t>(i)]->admission->would_admit(req);
+        });
     if (best < 0) {
       ++rejected_;
       return std::nullopt;
@@ -110,8 +108,10 @@ class ServerNode {
   [[nodiscard]] const std::string& name() const { return name_; }
 
   /// Aggregate fraction of node capacity in use (mean over NIs of the
-  /// binding resource).
+  /// binding resource). A node with no scheduler-NIs has no capacity at
+  /// all: it reports fully loaded, so placement never prefers it.
   [[nodiscard]] double load() const {
+    if (nis_.empty()) return 1.0;
     double sum = 0;
     for (const auto& ni : nis_) sum += total_load(*ni);
     return sum / static_cast<double>(nis_.size());
@@ -180,10 +180,21 @@ class MediaCluster {
  public:
   MediaCluster(sim::Engine& engine, hw::EthernetSwitch& ether, int nodes,
                int nis_per_node, const hw::Calibration& cal = {},
+               dvcm::StreamService::Config service_config = {})
+      : MediaCluster{engine, ether,
+                     std::vector<int>(static_cast<std::size_t>(nodes),
+                                      nis_per_node),
+                     cal, service_config} {}
+
+  /// Heterogeneous cluster: nis_per_node[n] scheduler-NIs in node n (0 is
+  /// legal — a director-only or storage node that can never host a stream).
+  MediaCluster(sim::Engine& engine, hw::EthernetSwitch& ether,
+               const std::vector<int>& nis_per_node,
+               const hw::Calibration& cal = {},
                dvcm::StreamService::Config service_config = {}) {
-    for (int n = 0; n < nodes; ++n) {
+    for (std::size_t n = 0; n < nis_per_node.size(); ++n) {
       nodes_.push_back(std::make_unique<ServerNode>(
-          "node" + std::to_string(n), engine, ether, nis_per_node, cal,
+          "node" + std::to_string(n), engine, ether, nis_per_node[n], cal,
           service_config));
     }
   }
@@ -193,12 +204,9 @@ class MediaCluster {
                                              int client_port, int n_frames,
                                              std::uint64_t seed) {
     // Least-loaded node first; fall through on admission failure.
-    std::vector<int> order(nodes_.size());
-    for (std::size_t i = 0; i < nodes_.size(); ++i) order[i] = static_cast<int>(i);
-    std::sort(order.begin(), order.end(), [&](int a, int b) {
-      return nodes_[static_cast<std::size_t>(a)]->load() <
-             nodes_[static_cast<std::size_t>(b)]->load();
-    });
+    const auto order = cluster::load_order(
+        static_cast<int>(nodes_.size()),
+        [this](int i) { return nodes_[static_cast<std::size_t>(i)]->load(); });
     for (const int n : order) {
       auto placed = nodes_[static_cast<std::size_t>(n)]->open_stream(
           params, mean_frame_bytes, client_port, n_frames, seed);

@@ -1,0 +1,54 @@
+// Capacity-aware least-loaded placement — the one decision rule every layer
+// of the scalable-server story shares.
+//
+// The paper's abstract distributes "media schedulers and media stream
+// producers among NIs within a server" and clusters such servers; every
+// level of that hierarchy places a stream the same way: among the candidates
+// whose admission controller still has headroom, pick the least loaded
+// (ties to the lowest index, so placement is deterministic and replayable).
+//
+// Three callers sit on these helpers:
+//  * apps::ServerNode     — NIs within one chassis;
+//  * apps::MediaCluster   — nodes behind the switch;
+//  * cluster::ClusterControlPlane — mass re-admission after a board death,
+//    where honoring headroom is what keeps a failover from cascading into
+//    the overload that kills the next board.
+#pragma once
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+namespace nistream::cluster {
+
+/// Index of the least-loaded candidate in [0, n) for which `admissible(i)`
+/// holds, or -1 when none qualifies. `load(i)` returns the candidate's
+/// binding-resource utilization; ties go to the lower index.
+template <typename LoadFn, typename AdmitFn>
+[[nodiscard]] int pick_least_loaded(int n, LoadFn&& load, AdmitFn&& admissible) {
+  int best = -1;
+  double best_load = 0;
+  for (int i = 0; i < n; ++i) {
+    if (!admissible(i)) continue;
+    const double l = load(i);
+    if (best < 0 || l < best_load) {
+      best = i;
+      best_load = l;
+    }
+  }
+  return best;
+}
+
+/// Candidate indices [0, n) sorted least-loaded first (stable, so equal
+/// loads keep index order). For callers that fall through to the next
+/// candidate when admission refuses at the preferred one.
+template <typename LoadFn>
+[[nodiscard]] std::vector<int> load_order(int n, LoadFn&& load) {
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](int a, int b) { return load(a) < load(b); });
+  return order;
+}
+
+}  // namespace nistream::cluster

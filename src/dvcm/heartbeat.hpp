@@ -70,6 +70,10 @@ struct WatchdogConfig {
   int max_missed = 3;                       // consecutive misses to trip
   double backoff_factor = 2.0;              // probe-interval growth once tripped
   sim::Time max_backoff = sim::Time::ms(1600);
+  /// Delay before the first probe. A cluster runs one watchdog per board;
+  /// staggering their phases keeps N probe bursts from landing on the same
+  /// simulation instant (and, on real hardware, the same PCI cycle).
+  sim::Time initial_delay = sim::Time::zero();
 };
 
 /// Host-side half. Owns the probe loop; reports through two callbacks:
@@ -101,6 +105,9 @@ class HostWatchdog {
   void start() {
     running_ = true;
     [](HostWatchdog& self) -> sim::Coro {
+      if (self.config_.initial_delay > sim::Time::zero()) {
+        co_await sim::Delay{self.engine_, self.config_.initial_delay};
+      }
       while (self.running_) {
         const std::uint64_t seq = ++self.probe_seq_;
         co_await self.api_.invoke(kHeartbeatPing, /*w0=*/seq);

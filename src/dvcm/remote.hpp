@@ -156,7 +156,11 @@ class ReliableRemoteVcmPort {
         const std::int64_t handler =
             self.runtime_.board().cpu().cycles() - before;
         co_await t.consume_cycles(VcmRuntime::kDispatchCycles + handler);
-        if (known) ++self.dispatched_;
+        if (known) {
+          ++self.dispatched_;
+        } else {
+          ++self.unknown_;
+        }
       }
     }(*this, task)
         .detach();
@@ -164,6 +168,7 @@ class ReliableRemoteVcmPort {
 
   [[nodiscard]] int port() const { return rx_.port(); }
   [[nodiscard]] std::uint64_t dispatched() const { return dispatched_; }
+  [[nodiscard]] std::uint64_t unknown_instructions() const { return unknown_; }
 
  private:
   void deliver(const net::Packet& p) {
@@ -175,6 +180,7 @@ class ReliableRemoteVcmPort {
   net::TcpLiteReceiver rx_;
   sim::Mailbox<std::shared_ptr<RemoteInstruction>> inbox_;
   std::uint64_t dispatched_ = 0;
+  std::uint64_t unknown_ = 0;
 };
 
 class ReliableRemoteVcmClient {

@@ -245,6 +245,25 @@ class StreamService {
     }
   }
 
+  /// Re-admit one checkpointed stream under a *fresh* local id — cluster
+  /// adoption, where the adopting board's id space has nothing to do with
+  /// the dead board's. Returns the local id assigned here; the caller (the
+  /// cluster control plane's shadow registry) owns the mapping.
+  dwcs::StreamId adopt(const StreamCheckpoint& c) {
+    const auto id = create_stream(c.params, c.client_port);
+    streams_[id].frames_sent = c.frames_sent;
+    return id;
+  }
+
+  /// Refresh an existing stream from a checkpoint — fail-back onto a board
+  /// whose scheduler still has the entry (the simulation keeps the service
+  /// object across reboots; only queues and windows were wiped). The frame
+  /// counter continues from wherever the stream's last residence left it.
+  void readopt(dwcs::StreamId local, const StreamCheckpoint& c) {
+    assert(static_cast<std::size_t>(local) < streams_.size());
+    streams_[local].frames_sent = c.frames_sent;
+  }
+
   /// Discard every queued frame on every stream — the crash wipe. Frame
   /// memory is released and drops are observed through the drop hook, but no
   /// window adjustments happen and nothing is charged (the CPU that would
@@ -267,6 +286,11 @@ class StreamService {
   }
   [[nodiscard]] std::uint64_t rejected_offline() const {
     return rejected_offline_;
+  }
+  /// Send-side sequence position of one stream (what a checkpoint of just
+  /// this stream would carry — see StreamCheckpoint.frames_sent).
+  [[nodiscard]] std::uint64_t frames_sent(dwcs::StreamId id) const {
+    return streams_[id].frames_sent;
   }
   /// (frame#, queuing delay ms) points — the y-axis data of Figures 8/10.
   [[nodiscard]] const std::vector<std::pair<std::uint64_t, double>>&

@@ -5,15 +5,24 @@
 // x losses (drops or late transmissions). The monitor watches the outcome
 // sequence a scheduler produces and counts windows that break the bound.
 //
-// It is used two ways:
+// It is used three ways:
 //  * as the oracle in DWCS property tests (under feasible load the DWCS
 //    violation count must stay at/near zero while baselines rack them up);
-//  * as the scoring function of the ablate_policy bench.
+//  * as the scoring function of the ablate_policy bench;
+//  * as the QoS ledger of the cluster control plane, where one logical
+//    stream may be served by several boards over its lifetime.
+//
+// Stats are keyed by (board scope, stream id), not by stream id alone: a
+// stream re-admitted on a sibling NI after its home board crashed gets a
+// fresh key there, so its post-migration outcome sequence cannot alias the
+// counters it accumulated before the crash (the dead placement's stats stay
+// frozen, attributable to the outage). Single-scheduler users keep the old
+// positional API — it is the keyed API specialized to scope 0.
 #pragma once
 
 #include <cstdint>
 #include <deque>
-#include <vector>
+#include <unordered_map>
 
 #include "dwcs/types.hpp"
 
@@ -21,16 +30,34 @@ namespace nistream::dwcs {
 
 class WindowViolationMonitor {
  public:
-  /// Register a stream with its constraint; ids must be registered in order.
-  void add_stream(const WindowConstraint& c) {
-    streams_.push_back(State{c, {}, 0, 0, 0});
-  }
+  /// Identifies one *placement* of a stream: the scheduler scope it runs in
+  /// (a board id, usually folded with the board incarnation so a reboot
+  /// starts a fresh window history) and the service-local stream id there.
+  struct StreamKey {
+    std::uint32_t scope = 0;  // board (+ incarnation); 0 = single-scheduler
+    StreamId stream = 0;
+
+    friend bool operator==(const StreamKey&, const StreamKey&) = default;
+  };
 
   enum class Outcome : std::uint8_t { kOnTime, kLate, kDropped };
 
-  /// Record the outcome of the next consecutive packet of `id`.
-  void record(StreamId id, Outcome o) {
-    State& s = streams_[id];
+  /// Register a stream under an explicit placement key. Re-registering an
+  /// existing key keeps its state (a hang-recovered board resumes the same
+  /// window history — nothing was wiped).
+  void add_stream(StreamKey key, const WindowConstraint& c) {
+    states_.try_emplace(pack(key), State{c, {}, 0, 0, 0});
+  }
+
+  /// Legacy single-scheduler registration: ids must be registered in order,
+  /// all under scope 0.
+  void add_stream(const WindowConstraint& c) {
+    add_stream(StreamKey{0, next_seq_++}, c);
+  }
+
+  /// Record the outcome of the next consecutive packet of `key`.
+  void record(StreamKey key, Outcome o) {
+    State& s = states_.at(pack(key));
     const bool lost = o != Outcome::kOnTime;
     s.window.push_back(lost);
     s.losses_in_window += lost;
@@ -45,28 +72,45 @@ class WindowViolationMonitor {
       ++s.violating_windows;
     }
   }
+  void record(StreamId id, Outcome o) { record(StreamKey{0, id}, o); }
 
+  [[nodiscard]] std::uint64_t violating_windows(StreamKey key) const {
+    return states_.at(pack(key)).violating_windows;
+  }
   [[nodiscard]] std::uint64_t violating_windows(StreamId id) const {
-    return streams_[id].violating_windows;
+    return violating_windows(StreamKey{0, id});
   }
   [[nodiscard]] std::uint64_t total_violating_windows() const {
     std::uint64_t sum = 0;
-    for (const auto& s : streams_) sum += s.violating_windows;
+    for (const auto& [k, s] : states_) sum += s.violating_windows;
     return sum;
   }
-  [[nodiscard]] std::uint64_t packets(StreamId id) const {
-    return streams_[id].packets;
+  [[nodiscard]] std::uint64_t packets(StreamKey key) const {
+    return states_.at(pack(key)).packets;
   }
-  /// Fraction of window positions (per stream) that violated the constraint.
-  [[nodiscard]] double violation_rate(StreamId id) const {
-    const State& s = streams_[id];
-    const auto windows =
-        s.packets >= static_cast<std::uint64_t>(s.constraint.y)
-            ? s.packets - static_cast<std::uint64_t>(s.constraint.y) + 1
-            : 0;
-    return windows ? static_cast<double>(s.violating_windows) /
+  [[nodiscard]] std::uint64_t packets(StreamId id) const {
+    return packets(StreamKey{0, id});
+  }
+  /// Full window positions this placement has seen (the denominator of
+  /// violation_rate); 0 until `y` packets arrived.
+  [[nodiscard]] std::uint64_t window_positions(StreamKey key) const {
+    const State& s = states_.at(pack(key));
+    return s.packets >= static_cast<std::uint64_t>(s.constraint.y)
+               ? s.packets - static_cast<std::uint64_t>(s.constraint.y) + 1
+               : 0;
+  }
+  /// Fraction of window positions (per placement) that violated the bound.
+  [[nodiscard]] double violation_rate(StreamKey key) const {
+    const auto windows = window_positions(key);
+    return windows ? static_cast<double>(violating_windows(key)) /
                          static_cast<double>(windows)
                    : 0.0;
+  }
+  [[nodiscard]] double violation_rate(StreamId id) const {
+    return violation_rate(StreamKey{0, id});
+  }
+  [[nodiscard]] bool known(StreamKey key) const {
+    return states_.contains(pack(key));
   }
 
  private:
@@ -77,7 +121,13 @@ class WindowViolationMonitor {
     std::uint64_t packets;
     std::uint64_t violating_windows;
   };
-  std::vector<State> streams_;
+
+  [[nodiscard]] static std::uint64_t pack(StreamKey key) {
+    return (static_cast<std::uint64_t>(key.scope) << 32) | key.stream;
+  }
+
+  std::unordered_map<std::uint64_t, State> states_;
+  StreamId next_seq_ = 0;
 };
 
 }  // namespace nistream::dwcs
