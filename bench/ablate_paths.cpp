@@ -1,6 +1,8 @@
 // Ablation: the frame-transfer paths of Figure 3 — plus the distributed
 // path the paper's §1 adds — compared on one table: per-frame latency and
-// which server resources each path consumes.
+// which server resources each path consumes. Every path is a declarative
+// path::FramePath composition; the per-stage breakdown column comes from
+// the path's own stage stamps, not hand-kept timers.
 //
 //   A: disk -> host CPU/fs -> I/O bus -> host NIC -> network
 //   B: NI disk -> PCI peer-to-peer -> scheduler NI -> network
@@ -8,12 +10,14 @@
 //   D: producer NI -> cluster interconnect -> scheduler NI -> network (§1's
 //      "media streams entering the NI from the network")
 #include <cstdio>
+#include <string>
 
 #include "apps/client.hpp"
 #include "bench_util.hpp"
 #include "hostos/filesystem.hpp"
 #include "hw/nic_board.hpp"
 #include "net/udp.hpp"
+#include "path/paths.hpp"
 
 using namespace nistream;
 using sim::Time;
@@ -25,12 +29,12 @@ struct PathResult {
   bool host_cpu_on_path = false;
   std::uint64_t pci_bytes = 0;
   std::uint64_t lan_hops = 0;  // interconnect crossings per frame
+  std::string breakdown;       // per-stage means, from the path's stamps
 };
 
 constexpr int kFrames = 400;
-constexpr std::uint32_t kFrameBytes = 1000;
 
-PathResult run_path(char path) {
+PathResult run_path(char which) {
   hw::Calibration cal;
   sim::Engine eng;
   hw::PciBus bus{eng, cal.pci};
@@ -45,53 +49,59 @@ PathResult run_path(char path) {
   net::UdpEndpoint producer_ep{eng, ether, cal.ethernet.stack_traversal,
                                net::UdpEndpoint::Receiver{}};
 
-  PathResult r;
-  auto proc = [&]() -> sim::Coro {
-    for (int i = 0; i < kFrames; ++i) {
-      const Time t0 = eng.now();
-      const auto scattered = static_cast<std::uint64_t>(i) * 10'000'000;
-      net::Packet pkt{.seq = static_cast<std::uint64_t>(i),
-                      .bytes = kFrameBytes,
-                      .frame_type = mpeg::FrameType::kP,
-                      .enqueued_at = t0};
-      switch (path) {
-        case 'A':
-          co_await fs.read(static_cast<std::uint64_t>(i) * kFrameBytes,
-                           kFrameBytes);
-          pkt.dispatched_at = eng.now();
-          host_ep.send(client.port(), pkt);
-          break;
-        case 'B':
-          co_await disk.read(scattered, kFrameBytes);
-          co_await bus.dma(kFrameBytes);
-          pkt.dispatched_at = eng.now();
-          ni_ep.send(client.port(), pkt);
-          break;
-        case 'C':
-          co_await disk.read(scattered, kFrameBytes);
-          pkt.dispatched_at = eng.now();
-          ni_ep.send(client.port(), pkt);
-          break;
-        case 'D':
-          co_await disk.read(scattered, kFrameBytes);
-          // Hop 1: producer NI -> scheduler NI across the interconnect;
-          // hop 2: scheduler NI -> client. Model hop 1 as an extra
-          // NI-to-NI UDP leg before the dispatch timestamp.
-          producer_ep.send(ni_ep.port(), pkt);
-          co_await sim::Delay{eng, Time::ms(1.3)};  // hop-1 pipeline latency
-          pkt.dispatched_at = eng.now();
-          ni_ep.send(client.port(), pkt);
-          break;
+  // The host path reads the file sequentially (UFS read-ahead applies);
+  // the NI paths pay the scattered random-access layout.
+  const std::uint64_t stride =
+      which == 'A' ? mpeg::kPaperFrameBytes : 10'000'000;
+  auto p = [&]() -> path::FramePath {
+    switch (which) {
+      case 'A':
+        return path::critical_path_a(eng, fs, host_ep, client.port());
+      case 'B':
+        return path::critical_path_b(eng, disk, bus, ni_ep, client.port());
+      case 'D': {
+        // Hop 1: producer NI -> scheduler NI across the interconnect;
+        // hop 2: scheduler NI -> client. Hop 1 is a relay leg, so it does
+        // not stamp the dispatch time.
+        path::FramePath d{eng, "path-d"};
+        d.stage<path::DiskStage<hw::ScsiDisk>>(disk)
+            .stage<path::UdpSendStage>(eng, producer_ep, ni_ep.port(),
+                                       /*stamp_dispatch=*/false)
+            .stage<path::DelayStage>(eng, Time::ms(1.3), "hop")
+            .stage<path::UdpSendStage>(eng, ni_ep, client.port());
+        return d;
       }
-      co_await sim::Delay{eng, Time::ms(3)};
+      default:
+        return path::critical_path_c(eng, disk, ni_ep, client.port());
     }
-  };
-  proc().detach();
+  }();
+
+  path::PathStats stats;
+  path::pump(p,
+             path::fixed_frame_source(
+                 kFrames, mpeg::kPaperFrameBytes,
+                 [stride](std::uint64_t seq) { return seq * stride; },
+                 /*stream=*/0,
+                 which == 'A' ? path::Provenance::kHostFile
+                              : path::Provenance::kNiDisk),
+             path::Pacing{.burst_frames = 0, .gap = Time::ms(3),
+                          .where = path::Pacing::Where::kAfterFrame},
+             stats)
+      .detach();
   eng.run();
+
+  PathResult r;
   r.latency_ms = client.latency_ms().mean();
-  r.host_cpu_on_path = (path == 'A');
+  r.host_cpu_on_path = (which == 'A');
   r.pci_bytes = bus.bytes_moved();
-  r.lan_hops = (path == 'D') ? 2 : 1;
+  r.lan_hops = (which == 'D') ? 2 : 1;
+  for (const auto& s : stats.stages) {
+    if (s.ms.mean() < 0.0005) continue;  // hide the free send stamps
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%s%s %.2f", r.breakdown.empty() ? "" : "+",
+                  s.name.c_str(), s.ms.mean());
+    r.breakdown += buf;
+  }
   return r;
 }
 
@@ -99,15 +109,16 @@ PathResult run_path(char path) {
 
 int main() {
   bench::header("Ablation: frame-transfer paths (Figure 3 + the network path)");
-  std::printf("  %-6s %16s %12s %14s %10s\n", "path", "latency (ms)",
-              "host CPU?", "PCI bytes", "LAN hops");
+  std::printf("  %-6s %16s %12s %14s %10s   %s\n", "path", "latency (ms)",
+              "host CPU?", "PCI bytes", "LAN hops", "stage means (ms)");
   const char* names[] = {"A", "B", "C", "D"};
   for (const char* n : names) {
     const PathResult r = run_path(*n);
-    std::printf("  %-6s %16.3f %12s %14llu %10llu\n", n, r.latency_ms,
+    std::printf("  %-6s %16.3f %12s %14llu %10llu   %s\n", n, r.latency_ms,
                 r.host_cpu_on_path ? "yes" : "no",
                 static_cast<unsigned long long>(r.pci_bytes),
-                static_cast<unsigned long long>(r.lan_hops));
+                static_cast<unsigned long long>(r.lan_hops),
+                r.breakdown.c_str());
   }
   bench::note("A is fastest per frame (cached UFS) but owns the host; B/C");
   bench::note("bypass the host at ~5.4 ms; D adds one interconnect hop and");

@@ -5,65 +5,99 @@
 // of an NI is disk-bound when many streams pull from one spindle; striping
 // the media volume across the board's SCSI ports multiplies the sustainable
 // producer rate. We measure frames/second off the volume for 1..4 member
-// disks under the media access pattern (64 KB stripe, 8 KB frames).
+// disks under the media access pattern (64 KB stripe, 8 KB frames). Each
+// reader is a path::FramePath over the striped volume — the same DiskStage
+// the producer paths use.
+//
+// Reproducible from the command line:
+//   `ablate_striping [out.json] [--seed=u64] [--out=path]`.
 #include <cstdio>
+#include <fstream>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "bench_util.hpp"
+#include "cli.hpp"
 #include "hw/striped_volume.hpp"
+#include "path/frame_path.hpp"
 
 using namespace nistream;
 using sim::Time;
 
 namespace {
 
-double frames_per_second(int width) {
+constexpr int kReaders = 8;
+constexpr int kFramesEach = 60;
+constexpr std::uint32_t kFrameBytes = 8192;
+
+double frames_per_second(int width, std::uint64_t seed) {
   sim::Engine eng;
   std::vector<std::unique_ptr<hw::ScsiDisk>> owned;
   std::vector<hw::ScsiDisk*> disks;
   for (int i = 0; i < width; ++i) {
     owned.push_back(std::make_unique<hw::ScsiDisk>(
-        eng, hw::kScsiDisk, static_cast<std::uint64_t>(300 + i)));
+        eng, hw::kScsiDisk, seed + static_cast<std::uint64_t>(i)));
     disks.push_back(owned.back().get());
   }
   hw::StripedVolume vol{eng, disks};
   // Interleaved multi-stream access: 8 concurrent readers sweeping separate
   // file regions (the worst case for a single spindle: every read seeks).
-  constexpr int kReaders = 8;
-  constexpr int kFramesEach = 60;
-  constexpr std::uint32_t kFrameBytes = 8192;
-  int done_readers = 0;
+  std::vector<std::unique_ptr<path::FramePath>> paths;
+  std::vector<std::unique_ptr<path::PathStats>> stats;
   for (int r = 0; r < kReaders; ++r) {
-    [](sim::Engine&, hw::StripedVolume& v, int reader, int frames,
-       int* done) -> sim::Coro {
-      for (int k = 0; k < frames; ++k) {
-        const std::uint64_t off =
-            static_cast<std::uint64_t>(reader) * 400'000'000 +
-            static_cast<std::uint64_t>(k) * 5'000'000;
-        co_await v.read(off, kFrameBytes);
-      }
-      ++*done;
-    }(eng, vol, r, kFramesEach, &done_readers)
+    paths.push_back(std::make_unique<path::FramePath>(eng, "striped-read"));
+    paths.back()->stage<path::DiskStage<hw::StripedVolume>>(vol);
+    stats.push_back(std::make_unique<path::PathStats>());
+    path::pump(*paths.back(),
+               path::fixed_frame_source(
+                   kFramesEach, kFrameBytes,
+                   [r](std::uint64_t k) {
+                     return static_cast<std::uint64_t>(r) * 400'000'000 +
+                            k * 5'000'000;
+                   },
+                   /*stream=*/static_cast<dwcs::StreamId>(r),
+                   path::Provenance::kStripedVolume),
+               {}, *stats.back())
         .detach();
   }
   const Time t = eng.run();
-  (void)done_readers;
   return kReaders * kFramesEach / t.to_sec();
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string out = bench::out_path(argc, argv, "BENCH_striping.json");
+  const std::uint64_t seed = bench::flag_u64(argc, argv, "seed", 300);
+
   bench::header("Ablation: striped media volume (producer-side disk bound)");
   std::printf("  %-8s %16s %10s\n", "disks", "frames/sec", "speedup");
+  std::vector<std::pair<int, double>> rows;
   double base = 0;
   for (const int width : {1, 2, 3, 4}) {
-    const double fps = frames_per_second(width);
+    const double fps = frames_per_second(width, seed);
     if (width == 1) base = fps;
     std::printf("  %-8d %16.1f %9.2fx\n", width, fps, fps / base);
+    rows.emplace_back(width, fps);
   }
   bench::note("Stripe width multiplies the sustainable producer frame rate;");
   bench::note("the i960 RD's two SCSI ports buy ~2x before the NI CPU or the");
   bench::note("100 Mbps link becomes the binding constraint.");
+
+  std::ofstream json{out};
+  if (json) {
+    json << "{\n  \"seed\": " << seed << ",\n  \"readers\": " << kReaders
+         << ",\n  \"frames_each\": " << kFramesEach
+         << ",\n  \"frame_bytes\": " << kFrameBytes << ",\n  \"widths\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      json << "    {\"disks\": " << rows[i].first
+           << ", \"frames_per_sec\": " << rows[i].second
+           << ", \"speedup\": " << rows[i].second / base << "}"
+           << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    json << "  ]\n}\n";
+    std::printf("  wrote %s\n", out.c_str());
+  }
   return 0;
 }

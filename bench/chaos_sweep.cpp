@@ -28,6 +28,7 @@
 #include "apps/failover_server.hpp"
 #include "cli.hpp"
 #include "fault/fault_plane.hpp"
+#include "mpeg/frame.hpp"
 
 using namespace nistream;
 
@@ -37,7 +38,7 @@ constexpr sim::Time kRunFor = sim::Time::sec(6);
 constexpr sim::Time kCrashAt = sim::Time::sec(2);
 constexpr sim::Time kRebootAfter = sim::Time::sec(1);
 constexpr sim::Time kFramePeriod = sim::Time::ms(33);
-constexpr std::uint32_t kFrameBytes = 1000;
+constexpr std::uint32_t kFrameBytes = mpeg::kPaperFrameBytes;
 // Frames fetched per disk I/O. Per-frame reads from interleaved streams pay a
 // full seek+rotation (~4 ms) each, saturating two disks at 32 streams; block
 // reads amortize the mechanical cost as a real media pump does.

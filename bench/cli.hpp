@@ -59,6 +59,15 @@ inline std::string flag_str(int argc, char** argv, std::string_view name,
   return std::string{fallback};
 }
 
+/// True when bare `--<name>` appears in argv (a boolean switch).
+inline bool flag_present(int argc, char** argv, std::string_view name) {
+  const std::string flag = "--" + std::string{name};
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) return true;
+  }
+  return false;
+}
+
 /// First argv entry that is not a `--flag` (and not the value of a
 /// space-separated `--out <path>`), or `fallback`. Benches use this for
 /// their output path.

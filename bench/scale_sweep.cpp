@@ -23,6 +23,7 @@
 
 #include "cli.hpp"
 #include "dwcs/scheduler.hpp"
+#include "mpeg/frame.hpp"
 #include "sim/random.hpp"
 
 using namespace nistream;
@@ -70,7 +71,7 @@ std::unique_ptr<dwcs::DwcsScheduler> make_loaded_scheduler(dwcs::ReprKind kind,
   for (std::size_t i = 0; i < n; ++i) {
     dwcs::FrameDescriptor d;
     d.frame_id = i;
-    d.bytes = 1000;
+    d.bytes = mpeg::kPaperFrameBytes;
     d.enqueued_at = sim::Time::zero();
     (void)sched->enqueue(static_cast<dwcs::StreamId>(i), d, sim::Time::zero());
   }
@@ -89,7 +90,7 @@ bool step(dwcs::DwcsScheduler& sched, sim::Time& now, std::uint64_t& next_fid) {
   if (!d) return false;
   dwcs::FrameDescriptor refill;
   refill.frame_id = next_fid++;
-  refill.bytes = 1000;
+  refill.bytes = mpeg::kPaperFrameBytes;
   refill.enqueued_at = now;
   (void)sched.enqueue(d->stream, refill, now);
   return true;

@@ -8,10 +8,11 @@
 //   Expt III Disk-I/O Bus-NI CPU-Network:       5.415  (4.2disk+1.2net+0.015pci)
 #include "apps/experiments.hpp"
 #include "bench_util.hpp"
+#include "cli.hpp"
 
 using namespace nistream;
 
-int main() {
+int main(int argc, char** argv) {
   bench::header("Table 4: critical-path frame-transfer benchmarks");
   const auto r = apps::run_critical_path(/*n_transfers=*/1000);
 
@@ -24,6 +25,25 @@ int main() {
   bench::row("disk component", 4.2, r.expt3_disk_ms, "ms");
   bench::row("net component", 1.2, r.expt3_net_ms, "ms");
   bench::row("pci component", 0.015, r.expt3_pci_ms, "ms");
+
+  // Per-stage means stamped by the FramePath each experiment ran on — the
+  // same decomposition, uniform across every path. Opt-in so the default
+  // output stays byte-stable across refactors.
+  if (bench::flag_present(argc, argv, "stages")) {
+    std::printf(" Stage breakdown (server-side, ms/frame):\n");
+    const auto breakdown = [](const char* label,
+                              const std::vector<apps::StageLatency>& stages) {
+      std::printf("  %-24s", label);
+      for (const auto& s : stages) {
+        std::printf("  %s=%.3f", s.stage.c_str(), s.mean_ms);
+      }
+      std::printf("\n");
+    };
+    breakdown("Path A (UFS)", r.expt1_ufs_stages);
+    breakdown("Path A (dosFs)", r.expt1_dosfs_stages);
+    breakdown("Path C", r.expt2_stages);
+    breakdown("Path B", r.expt3_stages);
+  }
 
   std::printf(" Shape checks:\n");
   bench::note(r.expt1_ufs_ms < r.expt2_ms

@@ -49,10 +49,10 @@ int main() {
   rtos::Task& tb = server.kernel().spawn("tProdB", 120);
   apps::ProducerStats stats_a, stats_b;
   apps::ni_disk_producer(engine, server.board().disk(0), ta, movie_a,
-                         server.service(), sa, nullptr, stats_a)
+                         server.service(), stats_a, {.stream = sa})
       .detach();
   apps::ni_disk_producer(engine, server.board().disk(1), tb, movie_b,
-                         server.service(), sb, nullptr, stats_b)
+                         server.service(), stats_b, {.stream = sb})
       .detach();
 
   engine.run_until(Time::sec(15));

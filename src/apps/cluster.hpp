@@ -122,6 +122,9 @@ class ServerNode {
     std::unique_ptr<NiSchedulerServer> server;
     std::unique_ptr<dwcs::AdmissionController> admission;
     int producer_tasks = 0;
+    // One stats block per spawned producer (stable addresses: the pumps
+    // hold references for the life of the run).
+    std::vector<std::unique_ptr<ProducerStats>> producer_stats;
 
     SchedulerNi(sim::Engine& engine, hw::PciBus& bus,
                 hw::EthernetSwitch& ether, const hw::Calibration& cal,
@@ -141,29 +144,18 @@ class ServerNode {
                       const dwcs::StreamParams& params,
                       std::uint32_t mean_frame_bytes, int n_frames,
                       std::uint64_t seed) {
-    // A paced synthetic producer: frame sizes jitter around the mean, one
-    // frame per period, reading from the board's disk in a shared sweep
-    // (sequential region per stream).
+    // A paced synthetic producer (Segment -> Enqueue): frame sizes jitter
+    // around the mean, one frame per period, fed to the chosen NI locally.
     rtos::Task& task = ni.server->kernel().spawn(
         "tProd" + std::to_string(ni.producer_tasks++), 120);
-    [](sim::Engine& eng, dvcm::StreamService& svc, rtos::Task& t,
-       dwcs::StreamId sid, sim::Time period, std::uint32_t mean_bytes,
-       int frames, std::uint64_t rng_seed) -> sim::Coro {
-      sim::Rng rng{rng_seed};
-      for (int k = 0; k < frames; ++k) {
-        const auto bytes = static_cast<std::uint32_t>(
-            std::max(128.0, rng.normal(mean_bytes, mean_bytes * 0.15)));
-        co_await t.consume_cycles(kSegmentationCyclesPerFrame);
-        while (!svc.enqueue(sid, bytes,
-                            k % 12 == 0 ? mpeg::FrameType::kI
-                                        : mpeg::FrameType::kP)) {
-          co_await sim::Delay{eng, kEnqueueBackoff};
-        }
-        co_await sim::Delay{eng, period};
-      }
-    }(engine_, ni.server->service(), task, id, params.period,
-      mean_frame_bytes, n_frames, seed)
-        .detach();
+    ni.producer_stats.push_back(std::make_unique<ProducerStats>());
+    spawn_synthetic_producer(
+        *ni.server, task, id,
+        SyntheticStreamSpec{.mean_frame_bytes = mean_frame_bytes,
+                            .n_frames = n_frames,
+                            .period = params.period,
+                            .seed = seed},
+        *ni.producer_stats.back());
   }
 
   std::string name_;

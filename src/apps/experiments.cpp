@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <memory>
+#include <tuple>
+#include <utility>
 
 #include "apps/client.hpp"
 #include "apps/media_server.hpp"
@@ -14,6 +16,7 @@
 #include "hw/nic_board.hpp"
 #include "mpeg/encoder.hpp"
 #include "mpeg/segmenter.hpp"
+#include "path/paths.hpp"
 #include "sim/coro.hpp"
 #include "sim/engine.hpp"
 
@@ -149,10 +152,34 @@ MicrobenchResult run_microbench(const MicrobenchConfig& config) {
 // Table 4.
 // ---------------------------------------------------------------------------
 
+namespace {
+
+/// Table 4 methodology (§4.2.2): `n` scattered 1000-byte frames, one in
+/// flight at a time — a 3 ms gap after every frame.
+path::FrameSource table4_source(int n_transfers, std::uint64_t stride,
+                                path::Provenance provenance) {
+  return path::fixed_frame_source(
+      static_cast<std::uint64_t>(n_transfers), mpeg::kPaperFrameBytes,
+      [stride](std::uint64_t seq) { return seq * stride; },
+      /*stream=*/0, provenance);
+}
+
+constexpr path::Pacing kTable4Pacing{
+    .burst_frames = 0, .gap = sim::Time::ms(3),
+    .where = path::Pacing::Where::kAfterFrame};
+
+std::vector<StageLatency> stage_breakdown(const path::PathStats& stats) {
+  std::vector<StageLatency> out;
+  out.reserve(stats.stages.size());
+  for (const auto& s : stats.stages) out.push_back({s.name, s.ms.mean()});
+  return out;
+}
+
+}  // namespace
+
 CriticalPathResult run_critical_path(int n_transfers,
                                      const hw::Calibration& cal) {
   CriticalPathResult result;
-  constexpr std::uint32_t kFrameBytes = 1000;
 
   // --- Experiment II (Path C): NI-attached disk -> NI CPU -> network.
   {
@@ -163,30 +190,23 @@ CriticalPathResult run_critical_path(int n_transfers,
     MpegClient client{eng, ether, cal.ethernet.stack_traversal};
     net::UdpEndpoint ni_ep{eng, ether, cal.ethernet.stack_traversal,
                            net::UdpEndpoint::Receiver{}};
-    auto proc = [&]() -> sim::Coro {
-      for (int i = 0; i < n_transfers; ++i) {
-        const sim::Time t0 = eng.now();
-        // Scattered frame layout (the paper measures the random-access cost
-        // of 4.2 ms per frame).
-        co_await disk.read(static_cast<std::uint64_t>(i) * 10'000'000,
-                           kFrameBytes);
-        net::Packet pkt{.stream_id = 0, .seq = static_cast<std::uint64_t>(i),
-                        .bytes = kFrameBytes,
-                        .frame_type = mpeg::FrameType::kP,
-                        .enqueued_at = t0, .dispatched_at = eng.now()};
-        ni_ep.send(client.port(), pkt);
-        // One frame in flight at a time, per the methodology.
-        co_await sim::Delay{eng, sim::Time::ms(3)};
-      }
-    };
-    proc().detach();
+    // Scattered frame layout (the paper measures the random-access cost of
+    // 4.2 ms per frame).
+    auto p = path::critical_path_c(eng, disk, ni_ep, client.port());
+    path::PathStats stats;
+    path::pump(p, table4_source(n_transfers, 10'000'000,
+                                path::Provenance::kNiDisk),
+               kTable4Pacing, stats)
+        .detach();
     eng.run();
     result.expt2_ms = client.latency_ms().mean() /* excludes the pacing gap:
         latency is measured per frame from read start to delivery */;
+    result.expt2_stages = stage_breakdown(stats);
   }
 
   // --- Experiment III (Path B): disk on one NI -> PCI p2p DMA -> scheduler
-  // NI -> network. Decomposed like the paper's "4.2disk+1.2net+0.015pci".
+  // NI -> network. The path's stage stamps reproduce the paper's
+  // "4.2disk+1.2net+0.015pci" decomposition.
   {
     sim::Engine eng;
     hw::PciBus bus{eng, cal.pci};
@@ -195,35 +215,23 @@ CriticalPathResult run_critical_path(int n_transfers,
     MpegClient client{eng, ether, cal.ethernet.stack_traversal};
     net::UdpEndpoint sched_ep{eng, ether, cal.ethernet.stack_traversal,
                               net::UdpEndpoint::Receiver{}};
-    sim::RunningStat disk_ms, pci_ms;
-    auto proc = [&]() -> sim::Coro {
-      for (int i = 0; i < n_transfers; ++i) {
-        const sim::Time t0 = eng.now();
-        co_await disk.read(static_cast<std::uint64_t>(i) * 10'000'000,
-                           kFrameBytes);
-        const sim::Time t1 = eng.now();
-        disk_ms.add((t1 - t0).to_ms());
-        co_await bus.dma(kFrameBytes);  // peer-to-peer write to scheduler NI
-        pci_ms.add((eng.now() - t1).to_ms());
-        net::Packet pkt{.stream_id = 0, .seq = static_cast<std::uint64_t>(i),
-                        .bytes = kFrameBytes,
-                        .frame_type = mpeg::FrameType::kP,
-                        .enqueued_at = t0, .dispatched_at = eng.now()};
-        sched_ep.send(client.port(), pkt);
-        co_await sim::Delay{eng, sim::Time::ms(3)};
-      }
-    };
-    proc().detach();
+    auto p = path::critical_path_b(eng, disk, bus, sched_ep, client.port());
+    path::PathStats stats;
+    path::pump(p, table4_source(n_transfers, 10'000'000,
+                                path::Provenance::kNiDisk),
+               kTable4Pacing, stats)
+        .detach();
     eng.run();
     result.expt3_ms = client.latency_ms().mean();
-    result.expt3_disk_ms = disk_ms.mean();
-    result.expt3_pci_ms = pci_ms.mean();
+    result.expt3_disk_ms = stats.stage_mean_ms("disk");
+    result.expt3_pci_ms = stats.stage_mean_ms("pci");
     result.expt3_net_ms = client.net_latency_ms().mean();
+    result.expt3_stages = stage_breakdown(stats);
   }
 
   // --- Experiment I (Path A): host system disk -> host CPU/filesystem ->
   // host NIC -> network, via UFS and via the mounted VxWorks dosFs.
-  const auto run_host_path = [&](bool use_ufs) -> double {
+  const auto run_host_path = [&](bool use_ufs) {
     sim::Engine eng;
     hw::EthernetSwitch ether{eng, cal.ethernet};
     hw::ScsiDisk disk{eng, cal.disk, 79};
@@ -232,30 +240,21 @@ CriticalPathResult run_critical_path(int n_transfers,
     MpegClient client{eng, ether, cal.ethernet.stack_traversal};
     net::UdpEndpoint host_ep{eng, ether, net::kHostStackCost,
                              net::UdpEndpoint::Receiver{}};
-    auto proc = [&]() -> sim::Coro {
-      for (int i = 0; i < n_transfers; ++i) {
-        const sim::Time t0 = eng.now();
-        // The host serves the file sequentially (UFS read-ahead applies).
-        const auto off = static_cast<std::uint64_t>(i) * kFrameBytes;
-        if (use_ufs) {
-          co_await ufs.read(off, kFrameBytes);
-        } else {
-          co_await dosfs.read(off, kFrameBytes);
-        }
-        net::Packet pkt{.stream_id = 0, .seq = static_cast<std::uint64_t>(i),
-                        .bytes = kFrameBytes,
-                        .frame_type = mpeg::FrameType::kP,
-                        .enqueued_at = t0, .dispatched_at = eng.now()};
-        host_ep.send(client.port(), pkt);
-        co_await sim::Delay{eng, sim::Time::ms(3)};
-      }
-    };
-    proc().detach();
+    auto p = use_ufs
+                 ? path::critical_path_a(eng, ufs, host_ep, client.port())
+                 : path::critical_path_a(eng, dosfs, host_ep, client.port());
+    path::PathStats stats;
+    // The host serves the file sequentially (UFS read-ahead applies).
+    path::pump(p, table4_source(n_transfers, mpeg::kPaperFrameBytes,
+                                path::Provenance::kHostFile),
+               kTable4Pacing, stats)
+        .detach();
     eng.run();
-    return client.latency_ms().mean();
+    return std::make_pair(client.latency_ms().mean(), stage_breakdown(stats));
   };
-  result.expt1_ufs_ms = run_host_path(true);
-  result.expt1_dosfs_ms = run_host_path(false);
+  std::tie(result.expt1_ufs_ms, result.expt1_ufs_stages) = run_host_path(true);
+  std::tie(result.expt1_dosfs_ms, result.expt1_dosfs_stages) =
+      run_host_path(false);
   return result;
 }
 
@@ -267,13 +266,12 @@ PciBenchResult run_pci_bench(const hw::Calibration& cal) {
   sim::Engine eng;
   hw::PciBus bus{eng, cal.pci};
   PciBenchResult r;
-  constexpr std::uint64_t kMpegFileBytes = 773665;  // the paper's test file
   sim::Time done = sim::Time::never();
-  bus.dma_async(kMpegFileBytes, [&] { done = eng.now(); });
+  bus.dma_async(mpeg::kPaperMpegFileBytes, [&] { done = eng.now(); });
   eng.run();
   r.mpeg_file_dma_us = done.to_us();
-  r.mpeg_file_dma_mbps =
-      static_cast<double>(kMpegFileBytes) / (done.to_us() * 1e-6) / 1e6;
+  r.mpeg_file_dma_mbps = static_cast<double>(mpeg::kPaperMpegFileBytes) /
+                         (done.to_us() * 1e-6) / 1e6;
   r.pio_word_read_us = bus.pio_read_cost().to_us();
   r.pio_word_write_us = bus.pio_write_cost().to_us();
   return r;
@@ -344,11 +342,11 @@ LoadExperimentResult run_host_load_experiment(
   hostos::Process& prod1 = host.spawn("mpeg-prod-1");
   hostos::Process& prod2 = host.spawn("mpeg-prod-2");
   ProducerStats ps1, ps2;
-  host_file_producer(host, prod1, fs, f1, server.service(), s1, ps1,
-                     /*file_base=*/0)
+  host_file_producer(host, prod1, fs, f1, server.service(), ps1,
+                     {.stream = s1, .disk_offset = 0})
       .detach();
-  host_file_producer(host, prod2, fs, f2, server.service(), s2, ps2,
-                     /*file_base=*/100'000'000)
+  host_file_producer(host, prod2, fs, f2, server.service(), ps2,
+                     {.stream = s2, .disk_offset = 100'000'000})
       .detach();
 
   // Web load on the other NIC/bus segment.
@@ -416,11 +414,11 @@ LoadExperimentResult run_ni_load_experiment(
   rtos::Task& t1 = server.kernel().spawn("tProd1", 120);
   rtos::Task& t2 = server.kernel().spawn("tProd2", 120);
   ProducerStats ps1, ps2;
-  ni_disk_producer(eng, server.board().disk(0), t1, f1, server.service(), s1,
-                   /*cross_bus=*/nullptr, ps1)
+  ni_disk_producer(eng, server.board().disk(0), t1, f1, server.service(), ps1,
+                   {.stream = s1})
       .detach();
-  ni_disk_producer(eng, server.board().disk(1), t2, f2, server.service(), s2,
-                   /*cross_bus=*/nullptr, ps2)
+  ni_disk_producer(eng, server.board().disk(1), t2, f2, server.service(), ps2,
+                   {.stream = s2})
       .detach();
 
   // The same 60%-class web load hammers the host — which the NI scheduler

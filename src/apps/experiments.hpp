@@ -57,6 +57,13 @@ struct MicrobenchResult {
 // Table 4: critical-path frame-transfer latency.
 // ---------------------------------------------------------------------------
 
+/// Mean server-side latency of one pipeline stage, as stamped by the
+/// path::FramePath the experiment ran on.
+struct StageLatency {
+  std::string stage;
+  double mean_ms = 0;
+};
+
 struct CriticalPathResult {
   double expt1_ufs_ms = 0;     // Path A via UFS
   double expt1_dosfs_ms = 0;   // Path A via mounted VxWorks dosFs
@@ -65,6 +72,13 @@ struct CriticalPathResult {
   double expt3_disk_ms = 0;    // decomposition of expt3 ("4.2disk")
   double expt3_net_ms = 0;     // ("1.2net")
   double expt3_pci_ms = 0;     // ("0.015pci")
+
+  /// Uniform per-stage breakdowns (the Expt III decomposition generalized
+  /// to every path), in stage order: one entry per FramePath stage.
+  std::vector<StageLatency> expt1_ufs_stages;
+  std::vector<StageLatency> expt1_dosfs_stages;
+  std::vector<StageLatency> expt2_stages;
+  std::vector<StageLatency> expt3_stages;
 };
 
 [[nodiscard]] CriticalPathResult run_critical_path(int n_transfers = 1000,

@@ -9,8 +9,10 @@
 //   frames. This is Paths B/C and the setup of Figures 9-10.
 #pragma once
 
+#include <algorithm>
 #include <memory>
 
+#include "apps/producer.hpp"
 #include "dvcm/dwcs_extension.hpp"
 #include "dvcm/host_api.hpp"
 #include "dvcm/runtime.hpp"
@@ -19,6 +21,7 @@
 #include "hw/nic_board.hpp"
 #include "net/udp.hpp"
 #include "rtos/wind.hpp"
+#include "sim/random.hpp"
 
 namespace nistream::apps {
 
@@ -86,5 +89,52 @@ class NiSchedulerServer {
   dvcm::VcmHostApi host_api_;
   dvcm::DwcsExtension* extension_;
 };
+
+// ---------------------------------------------------------------------------
+// Producer wiring helpers.
+// ---------------------------------------------------------------------------
+
+/// A synthetic stream's shape: jittered frame sizes around a mean, the
+/// broadcast 12-frame GOP cadence (one I per 12), one frame per period.
+struct SyntheticStreamSpec {
+  std::uint32_t mean_frame_bytes = 1000;
+  int n_frames = 0;
+  sim::Time period = sim::Time::ms(33);
+  std::uint64_t seed = 1;
+};
+
+/// Frame source drawing the spec's jittered sizes (sizes vary ~N(mean,
+/// 0.15*mean), floored at 128 bytes — the cluster load generators' model).
+inline path::FrameSource synthetic_stream_source(dwcs::StreamId stream,
+                                                 const SyntheticStreamSpec& spec) {
+  return [stream, spec, rng = sim::Rng{spec.seed}](
+             std::uint64_t seq, path::StagedFrame& f) mutable {
+    if (seq >= static_cast<std::uint64_t>(spec.n_frames)) return false;
+    f.stream = stream;
+    f.bytes = static_cast<std::uint32_t>(std::max(
+        128.0, rng.normal(spec.mean_frame_bytes,
+                          spec.mean_frame_bytes * 0.15)));
+    f.type = seq % 12 == 0 ? mpeg::FrameType::kI : mpeg::FrameType::kP;
+    f.provenance = path::Provenance::kSynthetic;
+    return true;
+  };
+}
+
+/// Spawn a paced synthetic producer (Segment -> Enqueue) feeding `stream`
+/// on `server`'s ring from wind task `task` — the cluster nodes' per-stream
+/// load generators. The pump detaches; `stats` must outlive the run.
+inline void spawn_synthetic_producer(NiSchedulerServer& server,
+                                     rtos::Task& task, dwcs::StreamId stream,
+                                     const SyntheticStreamSpec& spec,
+                                     ProducerStats& stats) {
+  sim::Engine& engine = server.board().engine();
+  detail::pump_owned(
+      path::synthetic_producer_path(engine, task, server.service()),
+      synthetic_stream_source(stream, spec),
+      path::Pacing{.burst_frames = 0, .gap = spec.period,
+                   .where = path::Pacing::Where::kAfterFrame},
+      stats)
+      .detach();
+}
 
 }  // namespace nistream::apps

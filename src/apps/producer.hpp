@@ -1,17 +1,22 @@
 // Stream producers: the MPEG segmentation processes that feed frames into
 // scheduler queues (§4.1), in the three frame-transfer configurations of
-// Figure 3.
+// Figure 3 — now thin wrappers that pump a path::FramePath composition
+// (src/path/paths.hpp):
 //
-// * NiDiskProducer  — a wind task on a disk-attached i960 board. Path C when
-//   the scheduler lives on the same board (no bus at all); Path B when the
-//   frames cross the PCI bus by peer-to-peer DMA to a dedicated
-//   scheduler-NI.
-// * HostFileProducer — a host process reading the file through a host
-//   filesystem (UFS or mounted dosFs) into a host-resident scheduler:
-//   Path A.
+// * ni_disk_producer  — a wind task on a disk-attached i960 board. Path C
+//   when the scheduler lives on the same board (Disk→Segment→Enqueue);
+//   Path B when config.cross_bus routes each frame over PCI p2p DMA to a
+//   dedicated scheduler-NI (Disk→Segment→Pci→Enqueue).
+// * ni_striped_producer — Path C off a Tiger-style striped volume.
+// * host_file_producer — a host process reading through a host filesystem
+//   (UFS or mounted dosFs) into a host-resident scheduler: Path A
+//   (Fs→Segment→Enqueue).
 //
 // Producers respect ring backpressure: a rejected frame is retried after a
-// short backoff instead of being lost.
+// short backoff instead of being lost. Stats update per frame, so a
+// producer cut short by a fault still reports truthfully — and because
+// ProducerStats is path::PathStats, every producer now carries a per-stage
+// latency breakdown too.
 #pragma once
 
 #include <cstdint>
@@ -21,62 +26,82 @@
 #include "hostos/host.hpp"
 #include "hw/pci.hpp"
 #include "hw/scsi_disk.hpp"
+#include "hw/striped_volume.hpp"
 #include "mpeg/frame.hpp"
+#include "path/paths.hpp"
 #include "rtos/wind.hpp"
 #include "sim/coro.hpp"
 
 namespace nistream::apps {
 
 /// Per-frame CPU cost of segmenting (start-code scan + header decode).
-inline constexpr std::int64_t kSegmentationCyclesPerFrame = 900;
+inline constexpr std::int64_t kSegmentationCyclesPerFrame =
+    path::kSegmentationCyclesPerFrame;
 /// Backoff before retrying a ring-full enqueue.
-inline constexpr sim::Time kEnqueueBackoff = sim::Time::ms(5);
+inline constexpr sim::Time kEnqueueBackoff = path::kEnqueueBackoff;
 
-struct ProducerStats {
-  std::uint64_t frames_produced = 0;
-  std::uint64_t retries = 0;
-  bool finished = false;
-  sim::Time finished_at;
-};
+/// Producer outcome counters + the per-stage latency breakdown.
+using ProducerStats = path::PathStats;
 
 /// Production pacing. The paper's producers prime the scheduler queues with
 /// an initial burst (the player's pre-roll buffer fill), then feed frames at
-/// the stream's nominal rate. An unpaced producer (pace == 0) pushes as fast
+/// the stream's nominal rate. An unpaced producer (gap == 0) pushes as fast
 /// as the disk allows.
-struct ProducerPacing {
-  int burst_frames = 0;       // frames pushed back-to-back at start
-  sim::Time pace = sim::Time::zero();  // inter-frame gap afterwards
+using ProducerPacing = path::Pacing;
+
+/// Everything about a producer's assignment that isn't a hardware resource:
+/// which stream it feeds, where its file starts on the device, how it paces,
+/// and (NI producers only) whether frames cross the PCI bus to a dedicated
+/// scheduler card (Path B) or stay on-card (Path C).
+struct ProducerConfig {
+  dwcs::StreamId stream = 0;
+  std::uint64_t disk_offset = 0;       // file base on the disk / filesystem
+  ProducerPacing pacing = {};
+  hw::PciBus* cross_bus = nullptr;     // non-null: Path B's p2p DMA hop
 };
 
+namespace detail {
+
+/// Own the path for the life of the pump: the coroutine frame keeps the
+/// FramePath (moved in) and the source closure alive until the file drains.
+inline sim::Coro pump_owned(path::FramePath p, path::FrameSource source,
+                            path::Pacing pacing, ProducerStats& stats) {
+  co_await path::pump(p, std::move(source), pacing, stats);
+}
+
+}  // namespace detail
+
 /// Produce every frame of `file` from an NI-attached disk into `service`.
-/// `cross_bus` non-null models Path B: each frame DMAs across the PCI bus to
-/// the scheduler card; null is Path C (same card, no bus traffic).
 inline sim::Coro ni_disk_producer(sim::Engine& engine, hw::ScsiDisk& disk,
                                   rtos::Task& task, const mpeg::MpegFile& file,
                                   dvcm::StreamService& service,
-                                  dwcs::StreamId stream, hw::PciBus* cross_bus,
                                   ProducerStats& stats,
-                                  std::uint64_t disk_offset = 0,
-                                  ProducerPacing pacing = {}) {
-  std::uint64_t offset = disk_offset;
-  int produced = 0;
-  for (const auto& frame : file.frames) {
-    if (pacing.pace > sim::Time::zero() && produced >= pacing.burst_frames) {
-      co_await sim::Delay{engine, pacing.pace};
-    }
-    co_await disk.read(offset, frame.bytes);
-    offset += frame.bytes;
-    co_await task.consume_cycles(kSegmentationCyclesPerFrame);
-    if (cross_bus) co_await cross_bus->dma(frame.bytes);  // Path B hop
-    while (!service.enqueue(stream, frame.bytes, frame.type)) {
-      ++stats.retries;
-      co_await sim::Delay{engine, kEnqueueBackoff};
-    }
-    ++stats.frames_produced;
-    ++produced;
-  }
-  stats.finished = true;
-  stats.finished_at = engine.now();
+                                  const ProducerConfig& config = {}) {
+  auto p = config.cross_bus
+               ? path::producer_path_b(engine, disk, task, *config.cross_bus,
+                                       service)
+               : path::producer_path_c(engine, disk, task, service);
+  return detail::pump_owned(
+      std::move(p),
+      path::mpeg_file_source(file, config.stream, config.disk_offset,
+                             path::Provenance::kNiDisk),
+      config.pacing, stats);
+}
+
+/// Path C variant reading off a striped volume (config.cross_bus unused:
+/// the volume's members already fan out across the board's channels).
+inline sim::Coro ni_striped_producer(sim::Engine& engine,
+                                     hw::StripedVolume& volume,
+                                     rtos::Task& task,
+                                     const mpeg::MpegFile& file,
+                                     dvcm::StreamService& service,
+                                     ProducerStats& stats,
+                                     const ProducerConfig& config = {}) {
+  return detail::pump_owned(
+      path::producer_path_c_striped(engine, volume, task, service),
+      path::mpeg_file_source(file, config.stream, config.disk_offset,
+                             path::Provenance::kStripedVolume),
+      config.pacing, stats);
 }
 
 /// Filesystem abstraction for the host producer (UFS or dosFs).
@@ -85,35 +110,18 @@ enum class HostFs { kUfs, kDosFs };
 /// Produce every frame of `file` from a host filesystem into a host-resident
 /// scheduler service (Path A). Filesystem overheads and segmentation both
 /// consume the producer process's CPU, so they contend with everything else
-/// on the host.
-inline sim::Coro host_file_producer(hostos::HostMachine& host,
-                                    hostos::Process& proc,
-                                    hostos::UfsFilesystem& fs,
-                                    const mpeg::MpegFile& file,
-                                    dvcm::StreamService& service,
-                                    dwcs::StreamId stream,
-                                    ProducerStats& stats,
-                                    std::uint64_t file_base = 0,
-                                    ProducerPacing pacing = {}) {
-  sim::Engine& engine = host.engine();
-  std::uint64_t offset = file_base;
-  int produced = 0;
-  for (const auto& frame : file.frames) {
-    if (pacing.pace > sim::Time::zero() && produced >= pacing.burst_frames) {
-      co_await sim::Delay{engine, pacing.pace};
-    }
-    co_await fs.read(offset, frame.bytes, &host.scheduler(), &proc.thread());
-    offset += frame.bytes;
-    co_await proc.consume_cycles(kSegmentationCyclesPerFrame);
-    while (!service.enqueue(stream, frame.bytes, frame.type)) {
-      ++stats.retries;
-      co_await sim::Delay{engine, kEnqueueBackoff};
-    }
-    ++stats.frames_produced;
-    ++produced;
-  }
-  stats.finished = true;
-  stats.finished_at = engine.now();
+/// on the host. Fs is hostos::UfsFilesystem or hostos::DosFilesystem.
+template <typename Fs>
+sim::Coro host_file_producer(hostos::HostMachine& host, hostos::Process& proc,
+                             Fs& fs, const mpeg::MpegFile& file,
+                             dvcm::StreamService& service,
+                             ProducerStats& stats,
+                             const ProducerConfig& config = {}) {
+  return detail::pump_owned(
+      path::producer_path_a(host, proc, fs, service),
+      path::mpeg_file_source(file, config.stream, config.disk_offset,
+                             path::Provenance::kHostFile),
+      config.pacing, stats);
 }
 
 }  // namespace nistream::apps

@@ -14,6 +14,14 @@
 
 namespace nistream::mpeg {
 
+/// The paper's reference frame size: the Table 4 critical-path experiments
+/// and the Table 5 "1000-byte frame" row all move 1000-byte frames (~250
+/// kbit/s at 30 fps — the Figure 7/9 settling bandwidth).
+inline constexpr std::uint32_t kPaperFrameBytes = 1000;
+
+/// The paper's Table 5 test file: one whole MPEG file DMAed card-to-card.
+inline constexpr std::uint64_t kPaperMpegFileBytes = 773665;
+
 enum class FrameType : std::uint8_t { kI = 1, kP = 2, kB = 3 };
 
 [[nodiscard]] inline const char* to_string(FrameType t) {

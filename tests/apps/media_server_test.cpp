@@ -38,7 +38,8 @@ TEST(HostServer, PathAEndToEnd) {
       client.port());
   hostos::Process& prod = host.spawn("producer");
   ProducerStats stats;
-  host_file_producer(host, prod, fs, file, server.service(), sid, stats)
+  host_file_producer(host, prod, fs, file, server.service(), stats,
+                     {.stream = sid})
       .detach();
   eng.run_until(Time::sec(3));
   server.service().stop();
@@ -63,7 +64,7 @@ TEST(NiServer, PathCEndToEnd) {
   rtos::Task& task = server.kernel().spawn("tProd", 120);
   ProducerStats stats;
   ni_disk_producer(eng, server.board().disk(0), task, file, server.service(),
-                   sid, /*cross_bus=*/nullptr, stats)
+                   stats, {.stream = sid})
       .detach();
   eng.run_until(Time::sec(3));
 
@@ -91,7 +92,7 @@ TEST(NiServer, PathBCrossesPciOnce) {
   rtos::Task& task = producer_kernel.spawn("tProd", 120);
   ProducerStats stats;
   ni_disk_producer(eng, producer_board.disk(0), task, file, server.service(),
-                   sid, /*cross_bus=*/&bus, stats)
+                   stats, {.stream = sid, .cross_bus = &bus})
       .detach();
   eng.run_until(Time::sec(3));
 
@@ -118,7 +119,7 @@ TEST(Producers, BackpressureRetriesInsteadOfDropping) {
   rtos::Task& task = server.kernel().spawn("tProd", 120);
   ProducerStats stats;
   ni_disk_producer(eng, server.board().disk(0), task, file, server.service(),
-                   sid, nullptr, stats)
+                   stats, {.stream = sid})
       .detach();
   eng.run_until(Time::sec(3));
 

@@ -203,7 +203,7 @@ TEST(DiskInjection, FaultStormOnDiskNiNetPathDegradesGracefully) {
   const auto file = mpeg::SyntheticEncoder{ep}.generate(60);
   apps::ProducerStats stats;
   apps::ni_disk_producer(eng, server.board().disk(0), task, file,
-                         server.service(), sid, nullptr, stats)
+                         server.service(), stats, {.stream = sid})
       .detach();
   eng.run_until(sim::Time::sec(5));
 
