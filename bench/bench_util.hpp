@@ -16,6 +16,33 @@
 
 namespace nistream::bench {
 
+/// Schema version of the tracked BENCH_*.json files. Version 2 added the
+/// provenance stamp (git_rev, jobs) emitted by write_stamp below.
+inline constexpr int kJsonSchemaVersion = 2;
+
+/// Revision the bench binary was built from: the NISTREAM_GIT_REV compile
+/// definition (CMake captures `git describe --always` at configure time),
+/// overridable at run time via the NISTREAM_GIT_REV environment variable
+/// (CI stamps the exact checkout even on stale build trees).
+inline std::string git_rev() {
+  if (const char* env = std::getenv("NISTREAM_GIT_REV")) return env;
+#ifdef NISTREAM_GIT_REV
+  return NISTREAM_GIT_REV;
+#else
+  return "unknown";
+#endif
+}
+
+/// Provenance stamp, written right after the opening "bench" key of every
+/// tracked JSON. `jobs` records the worker count the sweep ran under — it is
+/// the ONLY line allowed to differ between `--jobs 1` and `--jobs N` runs of
+/// a deterministic sweep (CI diffs the rest).
+inline void write_stamp(std::ofstream& out, unsigned jobs) {
+  out << "  \"schema_version\": " << kJsonSchemaVersion << ",\n"
+      << "  \"git_rev\": \"" << git_rev() << "\",\n"
+      << "  \"jobs\": " << jobs << ",\n";
+}
+
 inline void header(const std::string& title) {
   std::printf("\n==== %s ====\n", title.c_str());
 }

@@ -16,7 +16,12 @@
 //    collapse.
 // The bench exits nonzero when either property fails, so CI can gate on it.
 //
-// Reproducible from the command line: `chaos_sweep [out.json] [--seed=u64]`.
+// Reproducible from the command line:
+//   chaos_sweep [out.json] [--seed=u64] [--jobs=N] [--smoke]
+// Cells are independent simulations, so they run in parallel under --jobs
+// (default: one worker per hardware thread); results are emitted in grid
+// order, so the JSON is byte-identical for any job count (only its "jobs"
+// stamp differs). --smoke shrinks the grid for CI gate runs.
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -26,9 +31,11 @@
 
 #include "apps/client.hpp"
 #include "apps/failover_server.hpp"
+#include "bench_util.hpp"
 #include "cli.hpp"
 #include "fault/fault_plane.hpp"
 #include "mpeg/frame.hpp"
+#include "runner.hpp"
 
 using namespace nistream;
 
@@ -242,14 +249,15 @@ CellResult run_cell(double rate, std::size_t n_streams, std::uint64_t seed) {
 }
 
 void write_json(const std::vector<CellResult>& cells, const std::string& path,
-                std::uint64_t seed, bool all_ok) {
+                std::uint64_t seed, unsigned jobs, bool all_ok) {
   std::ofstream out{path};
   if (!out) {
     std::printf("could not write %s\n", path.c_str());
     return;
   }
-  out << "{\n  \"bench\": \"chaos_sweep\",\n"
-      << "  \"seed\": " << seed << ",\n"
+  out << "{\n  \"bench\": \"chaos_sweep\",\n";
+  bench::write_stamp(out, jobs);
+  out << "  \"seed\": " << seed << ",\n"
       << "  \"run_sec\": " << kRunFor.to_sec() << ",\n"
       << "  \"crash_at_sec\": " << kCrashAt.to_sec() << ",\n"
       << "  \"reboot_after_sec\": " << kRebootAfter.to_sec() << ",\n"
@@ -303,38 +311,58 @@ int main(int argc, char** argv) {
   const std::string out_path =
       bench::out_path(argc, argv, "BENCH_chaos.json");
   const std::uint64_t seed = bench::flag_u64(argc, argv, "seed", 0xFA017);
+  const unsigned jobs = bench::flag_jobs(argc, argv);
+  const bool smoke = bench::flag_present(argc, argv, "smoke");
 
-  const std::vector<double> rates{0.0, 0.01, 0.05};
-  const std::vector<std::size_t> stream_counts{8, 32};
+  // --smoke keeps one perfect-world cell and one faulted cell: enough to
+  // exercise both acceptance branches on a CI time budget.
+  const std::vector<double> rates =
+      smoke ? std::vector<double>{0.0, 0.05}
+            : std::vector<double>{0.0, 0.01, 0.05};
+  const std::vector<std::size_t> stream_counts =
+      smoke ? std::vector<std::size_t>{8} : std::vector<std::size_t>{8, 32};
 
-  std::printf("==== chaos sweep: fault rate x streams, seed=%llu ====\n",
-              static_cast<unsigned long long>(seed));
+  struct CellSpec {
+    double rate;
+    std::size_t streams;
+  };
+  std::vector<CellSpec> specs;
+  for (const double rate : rates) {
+    for (const std::size_t n : stream_counts) specs.push_back({rate, n});
+  }
+
+  std::printf("==== chaos sweep: fault rate x streams, seed=%llu, "
+              "jobs=%u%s ====\n",
+              static_cast<unsigned long long>(seed), jobs,
+              smoke ? " (smoke)" : "");
+  std::vector<CellResult> cells(specs.size());
+  bench::run_cells(specs.size(), jobs, [&](std::size_t i) {
+    // Distinct seed per cell, derived from the master — a function of the
+    // cell's coordinates only, so parallel and sequential runs agree.
+    const std::uint64_t cell_seed =
+        seed ^ (static_cast<std::uint64_t>(specs[i].rate * 1000) << 32) ^
+        specs[i].streams;
+    cells[i] = run_cell(specs[i].rate, specs[i].streams, cell_seed);
+  });
+
   std::printf("%8s %8s %8s %10s %10s %8s %10s %12s %10s %5s\n", "rate",
               "streams", "faults", "delivered", "rejected", "viol",
               "max_vrate", "failover_ms", "recov_ms", "ok");
-  std::vector<CellResult> cells;
   bool all_ok = true;
-  for (const double rate : rates) {
-    for (const std::size_t n : stream_counts) {
-      // Distinct seed per cell, derived from the master.
-      const std::uint64_t cell_seed =
-          seed ^ (static_cast<std::uint64_t>(rate * 1000) << 32) ^ n;
-      const auto c = run_cell(rate, n, cell_seed);
-      std::printf("%8g %8zu %8llu %10llu %10llu %8llu %10.4f %12.2f %10.2f %5s\n",
-                  c.fault_rate, c.streams,
-                  static_cast<unsigned long long>(c.faults.total()),
-                  static_cast<unsigned long long>(c.frames_delivered),
-                  static_cast<unsigned long long>(c.frames_rejected),
-                  static_cast<unsigned long long>(c.violating_windows),
-                  c.max_stream_violation_rate, c.failover_latency_ms,
-                  c.recovery_time_ms, c.ok ? "yes" : "NO");
-      if (!c.ok) {
-        std::printf("         ^ FAIL: %s\n", c.fail_reason.c_str());
-        all_ok = false;
-      }
-      cells.push_back(c);
+  for (const auto& c : cells) {
+    std::printf("%8g %8zu %8llu %10llu %10llu %8llu %10.4f %12.2f %10.2f %5s\n",
+                c.fault_rate, c.streams,
+                static_cast<unsigned long long>(c.faults.total()),
+                static_cast<unsigned long long>(c.frames_delivered),
+                static_cast<unsigned long long>(c.frames_rejected),
+                static_cast<unsigned long long>(c.violating_windows),
+                c.max_stream_violation_rate, c.failover_latency_ms,
+                c.recovery_time_ms, c.ok ? "yes" : "NO");
+    if (!c.ok) {
+      std::printf("         ^ FAIL: %s\n", c.fail_reason.c_str());
+      all_ok = false;
     }
   }
-  write_json(cells, out_path, seed, all_ok);
+  write_json(cells, out_path, seed, jobs, all_ok);
   return all_ok ? 0 : 1;
 }

@@ -21,7 +21,11 @@
 // The bench exits nonzero when any property fails, so CI can gate on it.
 //
 // Reproducible from the command line:
-//   cluster_chaos_sweep [--out out.json] [--seed=u64]
+//   cluster_chaos_sweep [--out out.json] [--seed=u64] [--jobs=N] [--smoke]
+// Cells are independent simulations and run in parallel under --jobs;
+// results are emitted in grid order, so the JSON is byte-identical for any
+// job count (only its "jobs" stamp differs). --smoke trims the grid to one
+// headroom cell and the spill cell for CI gate runs.
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
@@ -30,9 +34,11 @@
 #include <vector>
 
 #include "apps/client.hpp"
+#include "bench_util.hpp"
 #include "cli.hpp"
 #include "cluster/control_plane.hpp"
 #include "fault/board_health.hpp"
+#include "runner.hpp"
 #include "sim/random.hpp"
 
 using namespace nistream;
@@ -195,14 +201,15 @@ CellResult run_cell(const CellSpec& spec, std::uint64_t seed) {
 }
 
 void write_json(const std::vector<CellResult>& cells, const std::string& path,
-                std::uint64_t seed, bool all_ok) {
+                std::uint64_t seed, unsigned jobs, bool all_ok) {
   std::ofstream out{path};
   if (!out) {
     std::printf("could not write %s\n", path.c_str());
     return;
   }
-  out << "{\n  \"bench\": \"cluster_chaos_sweep\",\n"
-      << "  \"seed\": " << seed << ",\n"
+  out << "{\n  \"bench\": \"cluster_chaos_sweep\",\n";
+  bench::write_stamp(out, jobs);
+  out << "  \"seed\": " << seed << ",\n"
       << "  \"run_sec\": " << kRunFor.to_sec() << ",\n"
       << "  \"crash_at_sec\": " << kCrashAt.to_sec() << ",\n"
       << "  \"reboot_after_sec\": " << kRebootAfter.to_sec() << ",\n"
@@ -254,28 +261,41 @@ int main(int argc, char** argv) {
   const std::string out_path =
       bench::out_path(argc, argv, "BENCH_cluster.json");
   const std::uint64_t seed = bench::flag_u64(argc, argv, "seed", 0xC1A57);
+  const unsigned jobs = bench::flag_jobs(argc, argv);
+  const bool smoke = bench::flag_present(argc, argv, "smoke");
 
   // Cells: (boards, streams). Light cells leave sibling headroom (board 0's
   // share fits on the survivors); the tight 2-board cell fills both boards
-  // so the evacuation must spill.
-  const std::vector<CellSpec> cells_spec{
-      {.boards = 3, .streams = 6, .expect_spill = false},
-      {.boards = 3, .streams = 12, .expect_spill = false},
-      {.boards = 2, .streams = 8, .expect_spill = false},
-      {.boards = 2, .streams = 18, .expect_spill = true},
-  };
+  // so the evacuation must spill. --smoke keeps one of each regime.
+  const std::vector<CellSpec> cells_spec =
+      smoke ? std::vector<CellSpec>{
+                  {.boards = 3, .streams = 6, .expect_spill = false},
+                  {.boards = 2, .streams = 18, .expect_spill = true},
+              }
+            : std::vector<CellSpec>{
+                  {.boards = 3, .streams = 6, .expect_spill = false},
+                  {.boards = 3, .streams = 12, .expect_spill = false},
+                  {.boards = 2, .streams = 8, .expect_spill = false},
+                  {.boards = 2, .streams = 18, .expect_spill = true},
+              };
 
-  std::printf("==== cluster chaos sweep: NI-to-NI failover, seed=%llu ====\n",
-              static_cast<unsigned long long>(seed));
+  std::printf("==== cluster chaos sweep: NI-to-NI failover, seed=%llu, "
+              "jobs=%u%s ====\n",
+              static_cast<unsigned long long>(seed), jobs,
+              smoke ? " (smoke)" : "");
+  std::vector<CellResult> cells(cells_spec.size());
+  bench::run_cells(cells_spec.size(), jobs, [&](std::size_t i) {
+    const auto& spec = cells_spec[i];
+    const std::uint64_t cell_seed =
+        seed ^ (static_cast<std::uint64_t>(spec.boards) << 32) ^ spec.streams;
+    cells[i] = run_cell(spec, cell_seed);
+  });
+
   std::printf("%7s %8s %7s %10s %9s %6s %6s %6s %11s %11s %7s %5s\n", "boards",
               "streams", "placed", "delivered", "migrated", "drain", "spill",
               "viol", "detect_ms", "readmit_ms", "replay", "ok");
-  std::vector<CellResult> cells;
   bool all_ok = true;
-  for (const auto& spec : cells_spec) {
-    const std::uint64_t cell_seed =
-        seed ^ (static_cast<std::uint64_t>(spec.boards) << 32) ^ spec.streams;
-    const auto c = run_cell(spec, cell_seed);
+  for (const auto& c : cells) {
     std::printf("%7d %8zu %7llu %10llu %9llu %6llu %6llu %6llu %11.2f %11.2f "
                 "%7s %5s\n",
                 c.spec.boards, c.spec.streams,
@@ -291,8 +311,7 @@ int main(int argc, char** argv) {
       std::printf("        ^ FAIL: %s\n", c.fail_reason.c_str());
       all_ok = false;
     }
-    cells.push_back(c);
   }
-  write_json(cells, out_path, seed, all_ok);
+  write_json(cells, out_path, seed, jobs, all_ok);
   return all_ok ? 0 : 1;
 }

@@ -1,0 +1,67 @@
+// Parallel deterministic cell runner for the sweep benches.
+//
+// A sweep is a grid of independent cells, each a self-contained simulation
+// (its own sim::Engine, seeded from the cell's coordinates). Cells therefore
+// parallelize trivially — the only shared state in the simulation core is
+// thread_local (the coroutine frame pool) or immutable (the null cost hook) —
+// and the runner exploits that while keeping results DETERMINISTIC: workers
+// pull cell indices from a shared counter, but every result is written to its
+// cell's slot in a caller-owned, pre-sized vector, so the emitted table and
+// JSON are in grid order (and, for pure-simulation sweeps, byte-identical)
+// regardless of `--jobs` or thread scheduling.
+//
+// `--jobs 1` (or a single cell) runs on the calling thread with no thread
+// machinery at all — exactly the historical sequential sweep.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "cli.hpp"
+
+namespace nistream::bench {
+
+/// Default worker count: one per hardware thread (never 0 — unknown
+/// concurrency means sequential).
+inline unsigned default_jobs() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+/// Value of `--jobs=N`, defaulting to default_jobs(). 0 is treated as 1.
+inline unsigned flag_jobs(int argc, char** argv) {
+  const auto v = flag_u64(argc, argv, "jobs", default_jobs());
+  if (v == 0) return 1;
+  return static_cast<unsigned>(std::min<std::uint64_t>(v, 1024));
+}
+
+/// Run `fn(i)` for every i in [0, n), on up to `jobs` threads. Blocks until
+/// all cells complete. `fn` must be callable concurrently from different
+/// threads for distinct cells and must not throw (a sweep cell records its
+/// failure in its result slot instead).
+template <class Fn>
+void run_cells(std::size_t n, unsigned jobs, Fn&& fn) {
+  if (jobs <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      fn(i);
+    }
+  };
+  std::vector<std::thread> pool;
+  const auto k = static_cast<unsigned>(
+      std::min<std::size_t>(jobs, n));
+  pool.reserve(k);
+  for (unsigned t = 0; t < k; ++t) pool.emplace_back(worker);
+  for (auto& th : pool) th.join();
+}
+
+}  // namespace nistream::bench

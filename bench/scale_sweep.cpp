@@ -9,10 +9,22 @@
 // mostly-peer streams with a shared period, so deadline ties are the common
 // case and the tie-break path dominates.
 //
+// A second family of configs measures the FULL simulated datapath, not just
+// the scheduler: producer_path_a/b/c pipelines (disk/filesystem ->
+// segmentation -> [bus] -> scheduler ring -> dispatch -> client) at 1k/10k
+// concurrent streams, reported as host wall-clock frames/sec. This is the
+// tracked number for the allocation-free event/coroutine core: every frame
+// traversal is a coroutine chain over pooled frames and inline-storage
+// events, so regressions in either show up here before anywhere else.
+//
 // Output: a human-readable table on stdout plus BENCH_scale.json (path
 // overridable via the positional arg) so successive PRs have a tracked perf
 // trajectory. `--seed=<u64>` re-seeds the workload generator (default
 // 0x5ca1e, the historical constant) and is echoed into the JSON.
+// `--jobs=N` runs grid cells on N threads (cells are independent engines;
+// results are emitted in grid order regardless). NOTE: parallel cells
+// contend for cores, so publication-grade wall-clock numbers should use
+// `--jobs 1`. `--smoke` shrinks the grid and budgets for CI gate runs.
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
@@ -21,9 +33,15 @@
 #include <string>
 #include <vector>
 
+#include "apps/client.hpp"
+#include "apps/media_server.hpp"
+#include "apps/producer.hpp"
+#include "bench_util.hpp"
 #include "cli.hpp"
 #include "dwcs/scheduler.hpp"
+#include "hostos/filesystem.hpp"
 #include "mpeg/frame.hpp"
+#include "runner.hpp"
 #include "sim/random.hpp"
 
 using namespace nistream;
@@ -160,16 +178,127 @@ SweepResult run_config(dwcs::ReprKind kind, std::size_t n, std::uint64_t seed,
   return r;
 }
 
+// ---------------------------------------------------------------------------
+// Datapath family: producer_path_a/b/c end-to-end, wall-clock frames/sec.
+// ---------------------------------------------------------------------------
+
+struct PathResult {
+  const char* path = "";
+  std::size_t streams = 0;
+  std::uint64_t frames = 0;     // frames pushed through the full pipeline
+  std::uint64_t delivered = 0;  // frames that reached the client
+  double elapsed_sec = 0;
+  double frames_per_sec = 0;
+};
+
+/// Run `n` concurrent producer pipelines of the given path family
+/// (a = host fs -> host scheduler, b = NI disk -> PCI -> scheduler NI,
+/// c = NI disk -> same-card scheduler), each pumping `frames_per_stream`
+/// fixed-size frames into a real scheduler service that dispatches to a
+/// client. Reported frames/sec is HOST wall-clock over the whole run
+/// (pumps + dispatch drain): simulation throughput of the full datapath.
+PathResult run_datapath(char which, std::size_t n,
+                        std::uint64_t frames_per_stream) {
+  PathResult r;
+  r.path = which == 'a'   ? "producer_path_a"
+           : which == 'b' ? "producer_path_b"
+                          : "producer_path_c";
+  r.streams = n;
+
+  sim::Engine eng;
+  hw::PciBus bus{eng};
+  hw::EthernetSwitch ether{eng};
+  apps::MpegClient client{eng, ether};
+  std::vector<path::PathStats> stats(n);
+  const dwcs::StreamParams params{
+      .tolerance = {1, 4}, .period = sim::Time::ms(33), .lossy = true};
+
+  const auto source_for = [frames_per_stream](dwcs::StreamId sid,
+                                              std::size_t i,
+                                              path::Provenance prov) {
+    // Per-stream file base 16 MB apart, frames laid out back to back.
+    const std::uint64_t base = static_cast<std::uint64_t>(i) * 0x0100'0000ull;
+    return path::fixed_frame_source(
+        frames_per_stream, mpeg::kPaperFrameBytes,
+        [base](std::uint64_t seq) {
+          return base + seq * mpeg::kPaperFrameBytes;
+        },
+        sid, prov);
+  };
+  // Run in one-second simulated slices until every pump drained its source
+  // (the engine stops early whenever its queue is empty), then a short grace
+  // so in-flight dispatches reach the client.
+  const auto drain = [&] {
+    const auto done = [&] {
+      for (const auto& s : stats) {
+        if (!s.finished) return false;
+      }
+      return true;
+    };
+    sim::Time cap = sim::Time::zero();
+    while (!done() && cap < sim::Time::sec(4000)) {
+      cap = cap + sim::Time::sec(1);
+      eng.run_until(cap);
+    }
+    eng.run_until(cap + sim::Time::sec(2));
+  };
+
+  const auto t0 = Clock::now();
+  if (which == 'a') {
+    hostos::HostMachine host{eng, 2};
+    hw::Calibration cal;
+    hw::ScsiDisk disk{eng, cal.disk, 11};
+    hostos::UfsFilesystem fs{eng, disk, cal.fs};
+    apps::HostSchedulerServer server{host, ether};
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto sid = server.service().create_stream(params, client.port());
+      auto& proc =
+          host.spawn("pump" + std::to_string(i), hostos::kDefaultPriority);
+      apps::detail::pump_owned(
+          path::producer_path_a(host, proc, fs, server.service()),
+          source_for(sid, i, path::Provenance::kHostFile), {}, stats[i])
+          .detach();
+    }
+    drain();
+  } else {
+    apps::NiSchedulerServer server{eng, bus, ether};
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto sid = server.service().create_stream(params, client.port());
+      rtos::Task& task = server.kernel().spawn("pump" + std::to_string(i), 120);
+      auto p = which == 'b'
+                   ? path::producer_path_b(eng, server.board().disk(0), task,
+                                           bus, server.service())
+                   : path::producer_path_c(eng, server.board().disk(0), task,
+                                           server.service());
+      apps::detail::pump_owned(std::move(p),
+                               source_for(sid, i, path::Provenance::kNiDisk),
+                               {}, stats[i])
+          .detach();
+    }
+    drain();
+  }
+  r.elapsed_sec = elapsed_sec(t0);
+
+  for (const auto& s : stats) r.frames += s.frames_produced;
+  r.delivered = client.total_frames();
+  r.frames_per_sec =
+      r.elapsed_sec > 0 ? static_cast<double>(r.frames) / r.elapsed_sec : 0;
+  return r;
+}
+
 bool write_json(const std::vector<SweepResult>& results,
-                const std::string& path, std::uint64_t seed) {
+                const std::vector<PathResult>& paths, const std::string& path,
+                std::uint64_t seed, unsigned jobs) {
   std::ofstream out{path};
   if (!out) {
     std::printf("could not write %s\n", path.c_str());
     return false;
   }
-  out << "{\n  \"bench\": \"scale_sweep\",\n"
-      << "  \"seed\": " << seed << ",\n"
-      << "  \"unit\": {\"decisions_per_sec\": \"1/s\", \"latency\": \"ns\"},\n"
+  out << "{\n  \"bench\": \"scale_sweep\",\n";
+  bench::write_stamp(out, jobs);
+  out << "  \"seed\": " << seed << ",\n"
+      << "  \"unit\": {\"decisions_per_sec\": \"1/s\", \"latency\": \"ns\", "
+         "\"frames_per_sec\": \"1/s\"},\n"
       << "  \"configs\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const auto& r = results[i];
@@ -189,6 +318,20 @@ bool write_json(const std::vector<SweepResult>& results,
     }
     out << (i + 1 < results.size() ? ",\n" : "\n");
   }
+  out << "  ],\n  \"datapaths\": [\n";
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    const auto& p = paths[i];
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "    {\"path\": \"%s\", \"streams\": %zu, \"frames\": %llu, "
+                  "\"delivered\": %llu, \"elapsed_sec\": %.3f, "
+                  "\"frames_per_sec\": %.0f}",
+                  p.path, p.streams,
+                  static_cast<unsigned long long>(p.frames),
+                  static_cast<unsigned long long>(p.delivered), p.elapsed_sec,
+                  p.frames_per_sec);
+    out << buf << (i + 1 < paths.size() ? ",\n" : "\n");
+  }
   out << "  ]\n}\n";
   std::printf("wrote %s\n", path.c_str());
   return true;
@@ -200,29 +343,74 @@ int main(int argc, char** argv) {
   const std::string out_path =
       bench::out_path(argc, argv, "BENCH_scale.json");
   const std::uint64_t seed = bench::flag_u64(argc, argv, "seed", 0x5ca1e);
-  const std::vector<std::size_t> sizes{1'000, 10'000, 100'000};
+  const unsigned jobs = bench::flag_jobs(argc, argv);
+  const bool smoke = bench::flag_present(argc, argv, "smoke");
+
+  const std::vector<std::size_t> sizes =
+      smoke ? std::vector<std::size_t>{1'000}
+            : std::vector<std::size_t>{1'000, 10'000, 100'000};
+  const double throughput_budget = smoke ? 0.02 : 0.25;
+  const double latency_budget = smoke ? 0.02 : 0.15;
   const std::vector<dwcs::ReprKind> kinds{
       dwcs::ReprKind::kDualHeap, dwcs::ReprKind::kSingleHeap,
       dwcs::ReprKind::kSortedList, dwcs::ReprKind::kFcfs,
       dwcs::ReprKind::kCalendarQueue};
 
-  std::printf("==== scale sweep: wall-clock schedule_next throughput ====\n");
+  struct ReprCell {
+    dwcs::ReprKind kind;
+    std::size_t streams;
+  };
+  std::vector<ReprCell> repr_cells;
+  for (const auto kind : kinds) {
+    for (const auto n : sizes) repr_cells.push_back({kind, n});
+  }
+
+  std::printf("==== scale sweep: wall-clock schedule_next throughput, "
+              "jobs=%u%s ====\n",
+              jobs, smoke ? " (smoke)" : "");
+  std::vector<SweepResult> results(repr_cells.size());
+  bench::run_cells(repr_cells.size(), jobs, [&](std::size_t i) {
+    results[i] = run_config(repr_cells[i].kind, repr_cells[i].streams, seed,
+                            throughput_budget, latency_budget);
+  });
   std::printf("%-16s %10s %16s %12s %12s\n", "repr", "streams",
               "decisions/sec", "p50 ns", "p99 ns");
-  std::vector<SweepResult> results;
-  for (const auto kind : kinds) {
-    for (const auto n : sizes) {
-      const auto r = run_config(kind, n, seed, /*throughput_budget_sec=*/0.25,
-                                /*latency_budget_sec=*/0.15);
-      if (r.skipped) {
-        std::printf("%-16s %10zu %16s (%s)\n", r.repr, r.streams, "skipped",
-                    r.skip_reason);
-      } else {
-        std::printf("%-16s %10zu %16.0f %12.0f %12.0f\n", r.repr, r.streams,
-                    r.decisions_per_sec, r.p50_ns, r.p99_ns);
-      }
-      results.push_back(r);
+  for (const auto& r : results) {
+    if (r.skipped) {
+      std::printf("%-16s %10zu %16s (%s)\n", r.repr, r.streams, "skipped",
+                  r.skip_reason);
+    } else {
+      std::printf("%-16s %10zu %16.0f %12.0f %12.0f\n", r.repr, r.streams,
+                  r.decisions_per_sec, r.p50_ns, r.p99_ns);
     }
   }
-  return write_json(results, out_path, seed) ? 0 : 1;
+
+  struct PathCell {
+    char which;
+    std::size_t streams;
+    std::uint64_t frames_per_stream;
+  };
+  const std::vector<std::size_t> dp_sizes =
+      smoke ? std::vector<std::size_t>{256}
+            : std::vector<std::size_t>{1'000, 10'000};
+  const std::uint64_t dp_frames = smoke ? 2 : 4;
+  std::vector<PathCell> path_cells;
+  for (const char which : {'a', 'b', 'c'}) {
+    for (const auto n : dp_sizes) path_cells.push_back({which, n, dp_frames});
+  }
+  std::vector<PathResult> path_results(path_cells.size());
+  bench::run_cells(path_cells.size(), jobs, [&](std::size_t i) {
+    path_results[i] = run_datapath(path_cells[i].which, path_cells[i].streams,
+                                   path_cells[i].frames_per_stream);
+  });
+  std::printf("%-16s %10s %12s %12s %14s\n", "datapath", "streams", "frames",
+              "delivered", "frames/sec");
+  for (const auto& p : path_results) {
+    std::printf("%-16s %10zu %12llu %12llu %14.0f\n", p.path, p.streams,
+                static_cast<unsigned long long>(p.frames),
+                static_cast<unsigned long long>(p.delivered),
+                p.frames_per_sec);
+  }
+
+  return write_json(results, path_results, out_path, seed, jobs) ? 0 : 1;
 }

@@ -155,7 +155,11 @@ class StreamService {
       // consume (which the machine's scheduler may slice and delay — that
       // delay is the Figure 7/8 degradation).
       const std::int64_t before = cpu_.cycles();
-      std::vector<dwcs::Dispatch> batch;
+      // batch_ is a member so its capacity survives iterations: the dispatch
+      // loop runs once per frame period and a fresh vector here would put
+      // one heap allocation on every frame's critical path.
+      batch_.clear();
+      auto& batch = batch_;
       for (;;) {
         if (config_.paced) {
           const auto due = sched_.earliest_backlog_deadline();
@@ -315,6 +319,7 @@ class StreamService {
   hw::MemoryPool* memory_;
   sim::Condition work_;
   sim::TraceSink trace_;
+  std::vector<dwcs::Dispatch> batch_;  // dispatch-loop scratch, capacity reused
   std::vector<PerStream> streams_;
   std::uint64_t next_frame_id_ = 0;
   std::uint64_t dispatched_ = 0;

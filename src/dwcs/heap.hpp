@@ -31,7 +31,10 @@ template <class Less>
 class IndexedHeap {
  public:
   IndexedHeap(Less less, CostHook& hook, SimAddr base_addr)
-      : less_{std::move(less)}, hook_{&hook}, base_{base_addr} {}
+      : less_{std::move(less)},
+        hook_{&hook},
+        charged_{hook.accounted()},
+        base_{base_addr} {}
 
   [[nodiscard]] bool empty() const { return data_.empty(); }
   [[nodiscard]] std::size_t size() const { return data_.size(); }
@@ -92,41 +95,78 @@ class IndexedHeap {
   [[nodiscard]] const std::vector<StreamId>& raw() const { return data_; }
 
   /// Charge one heap-entry access (exposed for traversals done by callers).
+  /// The null hook discards charges, so the virtual call is skipped outright
+  /// via the cached `charged_` flag — on wall-clock runs the sift paths make
+  /// zero virtual calls.
   void touch(std::size_t idx) const {
-    hook_->mem(base_ + static_cast<SimAddr>(idx) * 8);
+    if (charged_) hook_->mem(base_ + static_cast<SimAddr>(idx) * 8);
   }
 
  private:
+  // Both sifts move a hole instead of swapping at every level: the moving
+  // element is held in a register and written (with its pos_ entry) exactly
+  // once at its final position, so each level costs one data store and one
+  // pos_ store instead of a full swap plus two pos_ updates. The charged
+  // access stream is unchanged — the same touch() pairs fire at the same
+  // points the swap-based implementation charged them, and the compare
+  // sequence is value-identical (data_[i] held the moving element at each
+  // level in the old code; `moving` holds it here).
+
   bool sift_up(std::size_t i) {
+    const StreamId moving = data_[i];
     bool moved = false;
     while (i > 0) {
       const std::size_t parent = (i - 1) / 2;
       touch(i);
       touch(parent);
-      if (!less_(data_[i], data_[parent])) break;
-      swap_at(i, parent);
+      if (!less_(moving, data_[parent])) break;
+      touch(i);  // modeled swap traffic (was swap_at)
+      touch(parent);
+      data_[i] = data_[parent];
+      pos_[data_[i]] = static_cast<std::int32_t>(i);
       i = parent;
       moved = true;
+    }
+    if (moved) {
+      data_[i] = moving;
+      pos_[moving] = static_cast<std::int32_t>(i);
     }
     return moved;
   }
 
   void sift_down(std::size_t i) {
+    const StreamId moving = data_[i];
+    bool moved = false;
     for (;;) {
       const std::size_t l = 2 * i + 1, r = 2 * i + 2;
       std::size_t best = i;
+      StreamId best_val = moving;
       touch(i);
       if (l < data_.size()) {
         touch(l);
-        if (less_(data_[l], data_[best])) best = l;
+        if (less_(data_[l], best_val)) {
+          best = l;
+          best_val = data_[l];
+        }
       }
       if (r < data_.size()) {
         touch(r);
-        if (less_(data_[r], data_[best])) best = r;
+        if (less_(data_[r], best_val)) {
+          best = r;
+          best_val = data_[r];
+        }
       }
-      if (best == i) return;
-      swap_at(i, best);
+      if (best == i) break;
+      touch(i);  // modeled swap traffic (was swap_at)
+      touch(best);
+      data_[i] = best_val;
+      pos_[best_val] = static_cast<std::int32_t>(i);
       i = best;
+      moved = true;
+    }
+    if (moved) {
+      data_[i] = moving;
+      pos_[moving] = static_cast<std::int32_t>(i);
     }
   }
 
@@ -141,6 +181,7 @@ class IndexedHeap {
 
   Less less_;
   CostHook* hook_;
+  bool charged_;
   SimAddr base_;
   std::vector<StreamId> data_;
   std::vector<std::int32_t> pos_;

@@ -68,33 +68,44 @@ class DualHeapRepr final : public ScheduleRepr {
       : table_{table},
         cmp_{cmp},
         hook_{&hook},
+        charged_{hook.accounted()},
         quiet_cmp_{cmp.mode(), null_cost_hook()},
         deadline_heap_{DeadlineIdLess{&table}, hook, base},
         tolerance_heap_{ToleranceLess{&table, &cmp}, hook, base + 0x10000},
         order_{FullLess{&table, &quiet_cmp_}, null_cost_hook(), 0} {}
 
+  // On wall-clock (null hook) runs the tolerance heap is never consulted:
+  // pick() goes straight to the full-order shadow heap, whose top is exactly
+  // the dual-heap answer (rule 1, tie-broken by the tolerance order — the
+  // charged replay below asserts this equivalence on instrumented runs). So
+  // its maintenance — the most expensive of the three heaps, a fraction
+  // compare per sift level — is skipped outright when nothing is charged.
   void insert(StreamId id) override {
     deadline_heap_.push(id);
-    tolerance_heap_.push(id);
+    if (charged_) tolerance_heap_.push(id);
     order_.push(id);
   }
   void remove(StreamId id) override {
     deadline_heap_.erase(id);
-    tolerance_heap_.erase(id);
+    if (charged_) tolerance_heap_.erase(id);
     order_.erase(id);
   }
   void update(StreamId id) override {
     deadline_heap_.update(id);
-    tolerance_heap_.update(id);
+    if (charged_) tolerance_heap_.update(id);
     order_.update(id);
   }
   void reserve(std::size_t n) override {
     deadline_heap_.reserve(n);
-    tolerance_heap_.reserve(n);
+    if (charged_) tolerance_heap_.reserve(n);
     order_.reserve(n);
   }
 
   std::optional<StreamId> pick() override {
+    if (!charged_) {
+      if (order_.empty()) return std::nullopt;
+      return order_.top_unchecked();
+    }
     const auto top = deadline_heap_.top();
     if (!top) return std::nullopt;
     // Fast path: if the tolerance heap's top shares the minimum deadline it
@@ -106,7 +117,7 @@ class DualHeapRepr final : public ScheduleRepr {
     // Slow path: the full-order shadow heap has the deadline-tie winner on
     // top (its order is deadline-major, then tolerance) — O(1).
     const StreamId best = order_.top_unchecked();
-    if (hook_->accounted()) {
+    if (charged_) {
       // Replay the modeled tie scan of the raw deadline heap so the charged
       // cost stream (memory words, tolerance compares) is bit-identical to
       // the pre-optimization implementation that Tables 1-2 were calibrated
@@ -139,6 +150,7 @@ class DualHeapRepr final : public ScheduleRepr {
   const StreamTable& table_;
   const Comparator& cmp_;
   CostHook* hook_;
+  bool charged_;  // cached hook.accounted(); false only for the null hook
   Comparator quiet_cmp_;  // same arithmetic mode, null hook (order_ only)
   IndexedHeap<DeadlineIdLess> deadline_heap_;
   IndexedHeap<ToleranceLess> tolerance_heap_;
@@ -185,13 +197,17 @@ class SortedListRepr final : public ScheduleRepr {
  public:
   SortedListRepr(const StreamTable& table, const Comparator& cmp,
                  CostHook& hook, SimAddr base)
-      : table_{table}, cmp_{cmp}, hook_{&hook}, base_{base} {}
+      : table_{table},
+        cmp_{cmp},
+        hook_{&hook},
+        charged_{hook.accounted()},
+        base_{base} {}
 
   void insert(StreamId id) override {
     auto it = list_.begin();
     std::size_t idx = 0;
     for (; it != list_.end(); ++it, ++idx) {
-      hook_->mem(base_ + idx * 8);
+      if (charged_) hook_->mem(base_ + idx * 8);
       if (cmp_.precedes(table_.view(id), id, table_.view(*it), *it)) break;
     }
     list_.insert(it, id);
@@ -203,7 +219,7 @@ class SortedListRepr final : public ScheduleRepr {
   }
   std::optional<StreamId> pick() override {
     if (list_.empty()) return std::nullopt;
-    hook_->mem(base_);
+    if (charged_) hook_->mem(base_);
     return list_.front();
   }
   std::optional<StreamId> earliest_deadline() override {
@@ -215,7 +231,7 @@ class SortedListRepr final : public ScheduleRepr {
     StreamId best = list_.front();
     std::size_t idx = 0;
     for (const StreamId s : list_) {
-      hook_->mem(base_ + idx++ * 8);
+      if (charged_) hook_->mem(base_ + idx++ * 8);
       if (table_.view(s).next_deadline != dmin) break;
       best = std::min(best, s);
     }
@@ -227,6 +243,7 @@ class SortedListRepr final : public ScheduleRepr {
   const StreamTable& table_;
   const Comparator& cmp_;
   CostHook* hook_;
+  bool charged_;  // cached hook.accounted(); false only for the null hook
   SimAddr base_;
   std::list<StreamId> list_;
 };
@@ -237,7 +254,7 @@ class SortedListRepr final : public ScheduleRepr {
 class FcfsRepr final : public ScheduleRepr {
  public:
   FcfsRepr(const StreamTable& table, CostHook& hook, SimAddr base)
-      : table_{table}, hook_{&hook}, base_{base} {}
+      : table_{table}, hook_{&hook}, charged_{hook.accounted()}, base_{base} {}
 
   void insert(StreamId id) override { members_.push_back(id); }
   void remove(StreamId id) override { std::erase(members_, id); }
@@ -247,7 +264,7 @@ class FcfsRepr final : public ScheduleRepr {
   std::optional<StreamId> pick() override {
     std::optional<StreamId> best;
     for (std::size_t i = 0; i < members_.size(); ++i) {
-      hook_->mem(base_ + i * 8);
+      if (charged_) hook_->mem(base_ + i * 8);
       const StreamId s = members_[i];
       if (!best || table_.view(s).head_enqueued_at <
                        table_.view(*best).head_enqueued_at) {
@@ -260,7 +277,7 @@ class FcfsRepr final : public ScheduleRepr {
   std::optional<StreamId> earliest_deadline() override {
     std::optional<StreamId> best;
     for (std::size_t i = 0; i < members_.size(); ++i) {
-      hook_->mem(base_ + i * 8);
+      if (charged_) hook_->mem(base_ + i * 8);
       const StreamId s = members_[i];
       if (!best ||
           table_.view(s).next_deadline < table_.view(*best).next_deadline ||
@@ -277,6 +294,7 @@ class FcfsRepr final : public ScheduleRepr {
  private:
   const StreamTable& table_;
   CostHook* hook_;
+  bool charged_;  // cached hook.accounted(); false only for the null hook
   SimAddr base_;
   std::vector<StreamId> members_;
 };
@@ -300,8 +318,8 @@ class CalendarQueueRepr final : public ScheduleRepr {
   CalendarQueueRepr(const StreamTable& table, const Comparator& cmp,
                     CostHook& hook, SimAddr base,
                     sim::Time bucket_width = sim::Time::ms(10))
-      : table_{table}, cmp_{cmp}, hook_{&hook}, base_{base},
-        width_ns_{bucket_width.raw_ns()}, buckets_{64} {}
+      : table_{table}, cmp_{cmp}, hook_{&hook}, charged_{hook.accounted()},
+        base_{base}, width_ns_{bucket_width.raw_ns()}, buckets_{64} {}
 
   void insert(StreamId id) override {
     if (id >= day_of_stream_.size()) day_of_stream_.resize(id + 1, kAbsent);
@@ -355,7 +373,7 @@ class CalendarQueueRepr final : public ScheduleRepr {
     std::size_t charged = 0;
     for (const Entry& e : buckets_[index(min_day_)]) {
       if (e.day != min_day_) continue;  // wheel collision from another year
-      hook_->mem(base_ + charged++ * 8);
+      if (charged_) hook_->mem(base_ + charged++ * 8);
       if (best == kInvalidStream) {
         best = e.id;
       } else if (cmp_.precedes(table_.view(e.id), e.id, table_.view(best),
@@ -374,7 +392,7 @@ class CalendarQueueRepr final : public ScheduleRepr {
     std::size_t charged = 0;
     for (const Entry& e : buckets_[index(min_day_)]) {
       if (e.day != min_day_) continue;
-      hook_->mem(base_ + charged++ * 8);
+      if (charged_) hook_->mem(base_ + charged++ * 8);
       if (best == kInvalidStream) {
         best = e.id;
         continue;
@@ -438,6 +456,7 @@ class CalendarQueueRepr final : public ScheduleRepr {
   const StreamTable& table_;
   const Comparator& cmp_;
   CostHook* hook_;
+  bool charged_;  // cached hook.accounted(); false only for the null hook
   SimAddr base_;
   std::int64_t width_ns_;
   std::vector<std::vector<Entry>> buckets_;  // size is a power of two

@@ -35,10 +35,23 @@
 namespace nistream::dwcs {
 
 /// Read access to per-stream dynamic state, provided by the scheduler.
+///
+/// Deliberately non-virtual: the provider keeps every StreamView in one
+/// contiguous vector and hands it to this base, so the two view() reads in
+/// every heap-sift compare are direct indexed loads from a dense array —
+/// no virtual dispatch, no pointer chase through per-stream state blocks.
+/// The vector is held by pointer, so provider-side growth (reallocation)
+/// needs no re-registration.
 class StreamTable {
  public:
-  virtual ~StreamTable() = default;
-  [[nodiscard]] virtual const StreamView& view(StreamId id) const = 0;
+  explicit StreamTable(const std::vector<StreamView>& views)
+      : views_{&views} {}
+  [[nodiscard]] const StreamView& view(StreamId id) const {
+    return (*views_)[id];
+  }
+
+ private:
+  const std::vector<StreamView>* views_;
 };
 
 class ScheduleRepr {

@@ -38,7 +38,8 @@ class FrameRing {
       : slots_(capacity + 1),  // one empty slot distinguishes full from empty
         residency_{residency},
         base_addr_{base_addr},
-        hook_{&hook} {
+        hook_{&hook},
+        charged_{hook.accounted()} {
     assert(capacity >= 1);
   }
 
@@ -98,7 +99,10 @@ class FrameRing {
   }
 
  private:
+  // The null hook discards charges; the cached `charged_` flag skips the
+  // whole touch loop (and its virtual calls) on wall-clock runs.
   void touch_slot(std::size_t slot, int words) const {
+    if (!charged_) return;
     if (residency_ == DescriptorResidency::kHardwareQueue) {
       for (int i = 0; i < words; ++i) hook_->reg();
     } else {
@@ -109,6 +113,7 @@ class FrameRing {
     }
   }
   void touch_pointer() const {
+    if (!charged_) return;
     if (residency_ == DescriptorResidency::kHardwareQueue) {
       hook_->reg();  // index register
     } else {
@@ -120,6 +125,7 @@ class FrameRing {
   DescriptorResidency residency_;
   SimAddr base_addr_;
   CostHook* hook_;
+  bool charged_;
   std::atomic<std::size_t> head_{0};
   std::atomic<std::size_t> tail_{0};
 };

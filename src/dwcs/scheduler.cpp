@@ -5,16 +5,16 @@
 namespace nistream::dwcs {
 
 DwcsScheduler::DwcsScheduler(Config config, CostHook& hook)
-    : config_{config},
+    // The StreamTable base stores only the address of views_, which is valid
+    // before the member is constructed; no element is read until streams
+    // exist.
+    : StreamTable{views_},
+      config_{config},
       hook_{&hook},
+      charged_{hook.accounted()},
       comparator_{config.arith, hook},
       repr_{make_repr(config.repr, *this, comparator_, hook,
                       /*heap_base=*/0x0100'0000)} {}
-
-const StreamView& DwcsScheduler::view(StreamId id) const {
-  assert(id < streams_.size());
-  return streams_[id].view;
-}
 
 const StreamParams& DwcsScheduler::stream_params(StreamId id) const {
   assert(id < streams_.size());
@@ -38,14 +38,15 @@ StreamId DwcsScheduler::create_stream(const StreamParams& params,
   const auto id = static_cast<StreamId>(streams_.size());
   StreamState s;
   s.params = params;
-  s.view.original = params.tolerance;
-  s.view.current = params.tolerance;
-  s.view.next_deadline = now + params.period;
+  StreamView v;
+  v.current = params.tolerance;
+  v.next_deadline = now + params.period;
   s.ring = &ring_pool_.emplace(config_.ring_capacity, config_.residency,
                                next_ring_base_, *hook_);
   s.state_addr = 0x00F0'0000 + static_cast<SimAddr>(id) * 128;
   next_ring_base_ += 0x10000;  // rings 64 KB apart in simulated memory
   streams_.push_back(std::move(s));
+  views_.push_back(v);
   return id;
 }
 
@@ -57,73 +58,78 @@ bool DwcsScheduler::enqueue(StreamId id, const FrameDescriptor& frame,
   if (!s.ring->push(frame)) return false;
   ++s.stats.enqueued;
   if (was_empty) {
-    s.view.head_enqueued_at = frame.enqueued_at;
-    s.view.has_backlog = true;
-    if (config_.reset_deadline_on_idle && s.view.next_deadline < now) {
+    StreamView& v = views_[id];
+    v.head_enqueued_at = frame.enqueued_at;
+    s.has_backlog = true;
+    if (config_.reset_deadline_on_idle && v.next_deadline < now) {
       // The stream idled past its grid; restart rather than charging the
       // idle gap as a burst of losses.
-      s.view.next_deadline = now + s.params.period;
+      v.next_deadline = now + s.params.period;
     }
     repr_->insert(id);
   }
   return true;
 }
 
-void DwcsScheduler::adjust_serviced(StreamState& s) {
+void DwcsScheduler::adjust_serviced(StreamView& v,
+                                    const WindowConstraint& orig) {
   // Rule (A): on-time service.
-  auto& cur = s.view.current;
-  const auto& orig = s.view.original;
-  hook_->arith_int(Op::kCmp, 1);
+  auto& cur = v.current;
+  if (charged_) hook_->arith_int(Op::kCmp, 1);
   if (cur.y > cur.x) {
-    hook_->arith_int(Op::kAdd, 1);
+    if (charged_) hook_->arith_int(Op::kAdd, 1);
     --cur.y;
   }
-  hook_->arith_int(Op::kCmp, 1);
+  if (charged_) hook_->arith_int(Op::kCmp, 1);
   if (cur.y == cur.x) {
     cur = orig;  // window complete: y-x on-time services happened
   }
 }
 
-void DwcsScheduler::adjust_lost(StreamState& s) {
+void DwcsScheduler::adjust_lost(StreamView& v, const WindowConstraint& orig,
+                                StreamStats& stats) {
   // Rule (B): head packet lost or late.
-  auto& cur = s.view.current;
-  const auto& orig = s.view.original;
-  hook_->arith_int(Op::kCmp, 1);
+  auto& cur = v.current;
+  if (charged_) hook_->arith_int(Op::kCmp, 1);
   if (cur.x > 0) {
-    hook_->arith_int(Op::kAdd, 2);
+    if (charged_) hook_->arith_int(Op::kAdd, 2);
     --cur.x;
     --cur.y;
-    hook_->arith_int(Op::kCmp, 1);
+    if (charged_) hook_->arith_int(Op::kCmp, 1);
     if (cur.y == cur.x) cur = orig;
   } else {
     // Violation: the window constraint is broken. The stream stays at
     // tolerance zero and its denominator grows, which raises its urgency
     // under precedence rule 3 so it recovers service share.
-    ++s.stats.violations;
-    hook_->arith_int(Op::kAdd, 1);
+    ++stats.violations;
+    if (charged_) hook_->arith_int(Op::kAdd, 1);
     ++cur.y;
   }
 }
 
 void DwcsScheduler::touch_stream_state(StreamState& s, int words) {
+  if (!charged_) return;  // null hook discards every charge
   for (int i = 0; i < words; ++i) {
     hook_->mem(s.state_addr + static_cast<SimAddr>(i) * 4);
   }
 }
 
-void DwcsScheduler::advance_deadline(StreamState& s, sim::Time now) {
-  hook_->arith_int(Op::kAdd, 1);
-  hook_->mem(s.state_addr);  // stream-descriptor deadline field
-  if (config_.deadline_from_completion && now > s.view.next_deadline) {
-    s.view.next_deadline = now + s.params.period;
+void DwcsScheduler::advance_deadline(StreamState& s, StreamView& v,
+                                     sim::Time now) {
+  if (charged_) {
+    hook_->arith_int(Op::kAdd, 1);
+    hook_->mem(s.state_addr);  // stream-descriptor deadline field
+  }
+  if (config_.deadline_from_completion && now > v.next_deadline) {
+    v.next_deadline = now + s.params.period;
   } else {
-    s.view.next_deadline += s.params.period;
+    v.next_deadline += s.params.period;
   }
 }
 
-void DwcsScheduler::refresh_head_arrival(StreamState& s) {
+void DwcsScheduler::refresh_head_arrival(StreamState& s, StreamView& v) {
   if (const auto head = s.ring->front()) {
-    s.view.head_enqueued_at = head->enqueued_at;
+    v.head_enqueued_at = head->enqueued_at;
   }
 }
 
@@ -133,8 +139,9 @@ void DwcsScheduler::process_late(sim::Time now) {
   // stream that has already been adjusted (it is about to be serviced late).
   while (const auto sid = repr_->earliest_deadline()) {
     StreamState& s = streams_[*sid];
-    hook_->arith_int(Op::kCmp, 1);
-    if (s.view.next_deadline >= now) break;
+    StreamView& v = views_[*sid];
+    if (charged_) hook_->arith_int(Op::kCmp, 1);
+    if (v.next_deadline >= now) break;
     if (s.params.lossy) {
       // Drop without transmitting — saves the wire bandwidth entirely.
       if (drop_hook_) {
@@ -145,18 +152,18 @@ void DwcsScheduler::process_late(sim::Time now) {
       s.ring->pop();
       ++s.stats.dropped;
       touch_stream_state(s, kDropStateWords);
-      adjust_lost(s);
-      advance_deadline(s, now);
+      adjust_lost(v, s.params.tolerance, s.stats);
+      advance_deadline(s, v, now);
       if (s.ring->empty()) {
-        s.view.has_backlog = false;
+        s.has_backlog = false;
         repr_->remove(*sid);
       } else {
-        refresh_head_arrival(s);
+        refresh_head_arrival(s, v);
         repr_->update(*sid);
       }
     } else {
       if (!s.head_late_adjusted) {
-        adjust_lost(s);
+        adjust_lost(v, s.params.tolerance, s.stats);
         s.head_late_adjusted = true;
         repr_->update(*sid);
       }
@@ -166,7 +173,7 @@ void DwcsScheduler::process_late(sim::Time now) {
 }
 
 std::optional<Dispatch> DwcsScheduler::schedule_next(sim::Time now) {
-  hook_->cycles(config_.decision_overhead_cycles);
+  if (charged_) hook_->cycles(config_.decision_overhead_cycles);
   ++decisions_;
 
   process_late(now);
@@ -180,8 +187,9 @@ std::optional<Dispatch> DwcsScheduler::schedule_next(sim::Time now) {
     sid = repr_->pick();
     if (!sid) return std::nullopt;
     StreamState& cand = streams_[*sid];
-    hook_->arith_int(Op::kCmp, 1);
-    if (!cand.params.lossy || cand.view.next_deadline >= now) break;
+    StreamView& cv = views_[*sid];
+    if (charged_) hook_->arith_int(Op::kCmp, 1);
+    if (!cand.params.lossy || cv.next_deadline >= now) break;
     if (drop_hook_) {
       if (const auto head = cand.ring->front_unaccounted()) {
         drop_hook_(*sid, *head);
@@ -190,17 +198,18 @@ std::optional<Dispatch> DwcsScheduler::schedule_next(sim::Time now) {
     cand.ring->pop();
     ++cand.stats.dropped;
     touch_stream_state(cand, kDropStateWords);
-    adjust_lost(cand);
-    advance_deadline(cand, now);
+    adjust_lost(cv, cand.params.tolerance, cand.stats);
+    advance_deadline(cand, cv, now);
     if (cand.ring->empty()) {
-      cand.view.has_backlog = false;
+      cand.has_backlog = false;
       repr_->remove(*sid);
     } else {
-      refresh_head_arrival(cand);
+      refresh_head_arrival(cand, cv);
       repr_->update(*sid);
     }
   }
   StreamState& s = streams_[*sid];
+  StreamView& v = views_[*sid];
   const auto head = s.ring->front();
   assert(head.has_value());
   s.ring->pop();
@@ -208,9 +217,9 @@ std::optional<Dispatch> DwcsScheduler::schedule_next(sim::Time now) {
   Dispatch d;
   d.stream = *sid;
   d.frame = *head;
-  d.deadline = s.view.next_deadline;
-  hook_->arith_int(Op::kCmp, 1);
-  d.late = s.view.next_deadline < now;
+  d.deadline = v.next_deadline;
+  if (charged_) hook_->arith_int(Op::kCmp, 1);
+  d.late = v.next_deadline < now;
 
   touch_stream_state(s, kServiceStateWords);
   if (d.late) {
@@ -221,16 +230,16 @@ std::optional<Dispatch> DwcsScheduler::schedule_next(sim::Time now) {
     s.head_late_adjusted = false;
   } else {
     ++s.stats.serviced_on_time;
-    adjust_serviced(s);
+    adjust_serviced(v, s.params.tolerance);
   }
   s.stats.bytes_sent += head->bytes;
-  advance_deadline(s, now);
+  advance_deadline(s, v, now);
 
   if (s.ring->empty()) {
-    s.view.has_backlog = false;
+    s.has_backlog = false;
     repr_->remove(*sid);
   } else {
-    refresh_head_arrival(s);
+    refresh_head_arrival(s, v);
     repr_->update(*sid);
   }
   return d;
@@ -246,8 +255,8 @@ std::size_t DwcsScheduler::purge_stream(StreamId id) {
     ++purged;
   }
   s.stats.dropped += purged;
-  if (s.view.has_backlog) {
-    s.view.has_backlog = false;
+  if (s.has_backlog) {
+    s.has_backlog = false;
     repr_->remove(id);
   }
   s.head_late_adjusted = false;

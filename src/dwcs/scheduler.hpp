@@ -87,6 +87,7 @@ class DwcsScheduler final : public PacketScheduler, private StreamTable {
   /// scheduler grows on demand without it.
   void reserve_streams(std::size_t n) {
     streams_.reserve(n);
+    views_.reserve(n);
     repr_->reserve(n);
   }
 
@@ -115,7 +116,7 @@ class DwcsScheduler final : public PacketScheduler, private StreamTable {
   [[nodiscard]] std::optional<sim::Time> earliest_backlog_deadline() {
     const auto sid = repr_->earliest_deadline();
     if (!sid) return std::nullopt;
-    return streams_[*sid].view.next_deadline;
+    return views_[*sid].next_deadline;
   }
 
   /// Fires whenever the scheduler drops a frame internally (lossy late drop
@@ -132,11 +133,15 @@ class DwcsScheduler final : public PacketScheduler, private StreamTable {
   std::size_t purge_stream(StreamId id);
 
  private:
+  // Dynamic keys (StreamView) live in the dense `views_` vector that backs
+  // the StreamTable base, not here: representation compares index that array
+  // directly, and keeping it free of cold per-stream state (params, stats,
+  // ring pointers) keeps the sift paths' working set tight.
   struct StreamState {
     StreamParams params;
-    StreamView view;  // dynamic keys, exposed to representations
     FrameRing* ring = nullptr;  // owned by ring_pool_, stable address
     StreamStats stats;
+    bool has_backlog = false;         // stream currently in the repr
     bool head_late_adjusted = false;  // rule B applied to the current head
     SimAddr state_addr = 0;  // simulated address of the stream-state block
   };
@@ -148,20 +153,23 @@ class DwcsScheduler final : public PacketScheduler, private StreamTable {
   static constexpr int kDropStateWords = 12;
   void touch_stream_state(StreamState& s, int words);
 
-  // StreamTable:
-  [[nodiscard]] const StreamView& view(StreamId id) const override;
-
-  void adjust_serviced(StreamState& s);  // rule (A)
-  void adjust_lost(StreamState& s);      // rule (B)
-  void advance_deadline(StreamState& s, sim::Time now);
-  void refresh_head_arrival(StreamState& s);
+  void adjust_serviced(StreamView& v, const WindowConstraint& orig);  // (A)
+  void adjust_lost(StreamView& v, const WindowConstraint& orig,      // (B)
+                   StreamStats& stats);
+  void advance_deadline(StreamState& s, StreamView& v, sim::Time now);
+  void refresh_head_arrival(StreamState& s, StreamView& v);
   void process_late(sim::Time now);
 
   Config config_;
   CostHook* hook_;
+  // Cached hook_->accounted(): false only for the discarding null hook, so
+  // every charge site can be guarded by a plain bool instead of paying a
+  // virtual no-op call — dozens per decision on wall-clock runs.
+  bool charged_;
   Comparator comparator_;
   FrameRingPool ring_pool_;  // pooled arena; streams_ holds raw pointers
   std::vector<StreamState> streams_;
+  std::vector<StreamView> views_;  // parallel to streams_; backs StreamTable
   std::unique_ptr<ScheduleRepr> repr_;
   DropHook drop_hook_;
   std::uint64_t decisions_ = 0;

@@ -76,13 +76,18 @@ struct StreamStats {
 };
 
 /// Dynamic per-stream scheduling state, exposed read-only for representations
-/// and tests.
+/// and tests. Deliberately lean — 32 bytes, two views per cache line: these
+/// are the only words a heap compare loads, so representation scaling is
+/// bounded by how many of them stay cache-resident. Static attributes (the
+/// original window constraint, in StreamParams) and scheduler bookkeeping
+/// (backlog flags) live with the scheduler, not here.
 struct StreamView {
   sim::Time next_deadline;
-  WindowConstraint original;
   WindowConstraint current;
   sim::Time head_enqueued_at;  // arrival of the head packet (FCFS orderings)
-  bool has_backlog = false;
 };
+static_assert(sizeof(StreamView) == 32,
+              "StreamView is sized for two views per cache line; keep cold "
+              "state out of it");
 
 }  // namespace nistream::dwcs

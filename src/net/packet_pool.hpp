@@ -1,0 +1,81 @@
+// Recycling allocator for the per-packet shared_ptr boxes.
+//
+// Every packet on the wire rides inside one heap box (the Packet copy plus
+// its shared_ptr control block, fused by allocate_shared). That box is the
+// last remaining per-frame heap allocation on the datapath, so it gets the
+// same treatment as coroutine frames (sim::detail::CoroFramePool): a
+// thread_local size-bucketed free list. After warm-up every box is served
+// from — and returned to — the free list, never ::operator new.
+//
+// thread_local for the same reason as the coroutine pool: parallel sweep
+// cells are share-nothing, and a packet never crosses OS threads (it crosses
+// *simulated* machines, all inside one cell's engine).
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace nistream::net::detail {
+
+class PacketBoxPool {
+ public:
+  static constexpr std::size_t kGranuleBytes = 32;
+  static constexpr std::size_t kBucketCount = 8;  // boxes up to 256 bytes
+
+  void* allocate(std::size_t n) {
+    const std::size_t b = (n + kGranuleBytes - 1) / kGranuleBytes - 1;
+    if (b >= kBucketCount) return ::operator new(n);
+    auto& list = free_[b];
+    if (!list.empty()) {
+      void* block = list.back();
+      list.pop_back();
+      return block;
+    }
+    return ::operator new((b + 1) * kGranuleBytes);
+  }
+
+  void release(void* block, std::size_t n) noexcept {
+    const std::size_t b = (n + kGranuleBytes - 1) / kGranuleBytes - 1;
+    if (b >= kBucketCount) {
+      ::operator delete(block);
+      return;
+    }
+    // push_back may itself allocate while the free list's capacity is still
+    // growing — that stops once the list has held the in-flight high-water
+    // mark, so it never recurs in steady state.
+    free_[b].push_back(block);
+  }
+
+  static PacketBoxPool& instance() {
+    static thread_local PacketBoxPool pool;
+    return pool;
+  }
+
+ private:
+  std::vector<void*> free_[kBucketCount];
+};
+
+/// Minimal allocator front-end for std::allocate_shared over the pool.
+template <typename T>
+struct PacketBoxAllocator {
+  using value_type = T;
+
+  PacketBoxAllocator() = default;
+  template <typename U>
+  PacketBoxAllocator(const PacketBoxAllocator<U>&) noexcept {}  // NOLINT
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(PacketBoxPool::instance().allocate(n * sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    PacketBoxPool::instance().release(p, n * sizeof(T));
+  }
+
+  template <typename U>
+  bool operator==(const PacketBoxAllocator<U>&) const noexcept {
+    return true;
+  }
+};
+
+}  // namespace nistream::net::detail

@@ -19,6 +19,7 @@
 
 #include "dwcs/types.hpp"
 #include "hw/ethernet.hpp"
+#include "net/packet_pool.hpp"
 #include "mpeg/frame.hpp"
 #include "sim/engine.hpp"
 #include "sim/time.hpp"
@@ -66,7 +67,9 @@ class UdpEndpoint {
       ether_.send(port_, dst_port,
                   hw::EthFrame{.bytes = pkt.bytes + kUdpIpHeaderBytes,
                                .tag = pkt.stream_id,
-                               .payload = std::make_shared<Packet>(pkt)});
+                               .payload = std::allocate_shared<Packet>(
+                                   detail::PacketBoxAllocator<Packet>{},
+                                   pkt)});
     });
   }
 

@@ -8,6 +8,14 @@
 // multi-step protocol logic linear instead of exploding into callback state
 // machines.
 //
+// Allocation model: spawning a process costs zero steady-state allocations.
+// Coroutine frames come from a per-thread size-bucketed free list
+// (CoroFramePool below), and the completion state shared between the frame
+// and its Coro handle is embedded in the same pooled block (16-byte header
+// in front of the frame, intrusive refcount) — no shared_ptr control block,
+// no second allocation. The pool is thread_local: each bench cell runs its
+// engine on one thread, and frames never migrate, so the pool needs no locks.
+//
 // Lifetime rules (deliberately simple, matching how the experiments run):
 //  * Coroutines start eagerly at the call site ("spawn" semantics).
 //  * Frames always self-destroy at completion (inside the final awaiter,
@@ -24,10 +32,11 @@
 
 #include <cassert>
 #include <coroutine>
+#include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <exception>
-#include <memory>
+#include <new>
 #include <utility>
 #include <vector>
 
@@ -36,38 +45,172 @@
 
 namespace nistream::sim {
 
+namespace detail {
+
+/// Completion state embedded at the front of every pooled coroutine block.
+/// Refcount covers: the frame itself (1, released by promise operator delete)
+/// and the Coro handle, if still attached (+1). When it hits zero the whole
+/// block — header and frame — returns to the pool.
+struct Completion {
+  std::coroutine_handle<> continuation{};
+  std::uint32_t refs = 0;
+  std::uint16_t bucket = 0;  // pool bucket index; kOversizeBucket = plain new
+  bool finished = false;
+};
+
+/// Header size is one max_align_t unit so the frame behind it keeps maximal
+/// alignment (pool blocks are themselves max_align_t-aligned).
+inline constexpr std::size_t kCompletionHeaderBytes =
+    alignof(std::max_align_t) >= sizeof(Completion) ? alignof(std::max_align_t)
+                                                    : sizeof(Completion);
+static_assert(kCompletionHeaderBytes % alignof(std::max_align_t) == 0);
+static_assert(alignof(Completion) <= alignof(std::max_align_t));
+
+inline constexpr std::uint16_t kOversizeBucket = 0xFFFF;
+
+/// Per-thread allocation counters, readable via coro_pool_stats(). The
+/// zero-steady-state-allocation tests key off fresh_blocks/oversize_blocks
+/// staying flat while frames keep growing.
+struct CoroPoolStats {
+  std::uint64_t frames = 0;         // coroutine frames allocated (pool or not)
+  std::uint64_t pool_reuses = 0;    // served from a bucket free list
+  std::uint64_t fresh_blocks = 0;   // had to touch ::operator new (bucketed)
+  std::uint64_t oversize_blocks = 0;  // frame too big for any bucket
+  std::uint64_t releases = 0;       // blocks whose refcount hit zero
+};
+
+/// Size-bucketed free list for coroutine blocks. 64-byte granularity, 32
+/// buckets (up to 2 KiB — every frame in this repository fits well under
+/// that); anything larger falls through to plain operator new/delete and is
+/// counted, so a frame that silently outgrows the pool shows up in stats
+/// rather than quietly re-adding steady-state allocations.
+class CoroFramePool {
+ public:
+  static constexpr std::size_t kGranuleBytes = 64;
+  static constexpr std::size_t kBucketCount = 32;
+
+  ~CoroFramePool() {
+    for (auto& bucket : free_) {
+      for (void* block : bucket) ::operator delete(block);
+    }
+  }
+
+  void* allocate(std::size_t frame_bytes, std::uint16_t& bucket_out) {
+    ++stats_.frames;
+    const std::size_t total = kCompletionHeaderBytes + frame_bytes;
+    const std::size_t bucket = (total + kGranuleBytes - 1) / kGranuleBytes - 1;
+    if (bucket >= kBucketCount) {
+      ++stats_.oversize_blocks;
+      bucket_out = kOversizeBucket;
+      return ::operator new(total);
+    }
+    bucket_out = static_cast<std::uint16_t>(bucket);
+    auto& list = free_[bucket];
+    if (!list.empty()) {
+      ++stats_.pool_reuses;
+      void* block = list.back();
+      list.pop_back();
+      return block;
+    }
+    ++stats_.fresh_blocks;
+    return ::operator new((bucket + 1) * kGranuleBytes);
+  }
+
+  void release(void* block, std::uint16_t bucket) {
+    ++stats_.releases;
+    if (bucket == kOversizeBucket) {
+      ::operator delete(block);
+      return;
+    }
+    free_[bucket].push_back(block);
+  }
+
+  [[nodiscard]] const CoroPoolStats& stats() const { return stats_; }
+
+  static CoroFramePool& instance() {
+    static thread_local CoroFramePool pool;
+    return pool;
+  }
+
+ private:
+  std::vector<void*> free_[kBucketCount];
+  CoroPoolStats stats_;
+};
+
+/// Handoff from promise operator new to the promise constructor: the frame is
+/// constructed immediately after its block is allocated, on the same thread,
+/// so a single thread_local slot is a race-free way for the promise to learn
+/// its header address without relying on frame-layout assumptions.
+inline thread_local Completion* tl_pending_completion = nullptr;
+
+/// Drop one reference; recycle the block when the count reaches zero.
+inline void release_ref(Completion* c) noexcept {
+  assert(c->refs > 0);
+  if (--c->refs == 0) {
+    const std::uint16_t bucket = c->bucket;
+    c->~Completion();
+    CoroFramePool::instance().release(static_cast<void*>(c), bucket);
+  }
+}
+
+}  // namespace detail
+
+/// Snapshot of this thread's coroutine-pool counters.
+inline detail::CoroPoolStats coro_pool_stats() {
+  return detail::CoroFramePool::instance().stats();
+}
+
 /// Simulation process handle. Returned by any coroutine process function.
 class [[nodiscard]] Coro {
  public:
-  /// Completion state shared between the coroutine frame and Coro handles;
-  /// outlives the frame.
-  struct State {
-    bool finished = false;
-    std::coroutine_handle<> continuation{};
-  };
-
   struct promise_type;
   using Handle = std::coroutine_handle<promise_type>;
 
   struct FinalAwaiter {
     bool await_ready() const noexcept { return false; }
     std::coroutine_handle<> await_suspend(Handle h) noexcept {
-      // Grab everything needed out of the frame, then destroy it. The frame
-      // is gone before anyone else runs; the continuation resumes via
-      // symmetric transfer.
-      const std::shared_ptr<State> state = h.promise().state;
+      // Publish completion and grab the continuation *before* destroying the
+      // frame: if the process was detached, the frame holds the last
+      // reference and h.destroy() recycles the whole block, header included.
+      detail::Completion* c = h.promise().completion_;
+      c->finished = true;
+      const std::coroutine_handle<> next =
+          c->continuation ? c->continuation : std::noop_coroutine();
       h.destroy();
-      state->finished = true;
-      return state->continuation ? state->continuation
-                                 : std::noop_coroutine();
+      return next;
     }
     void await_resume() const noexcept {}
   };
 
   struct promise_type {
-    std::shared_ptr<State> state = std::make_shared<State>();
+    detail::Completion* completion_ = nullptr;
 
-    Coro get_return_object() { return Coro{state}; }
+    static void* operator new(std::size_t frame_bytes) {
+      std::uint16_t bucket = 0;
+      void* block =
+          detail::CoroFramePool::instance().allocate(frame_bytes, bucket);
+      auto* c = ::new (block) detail::Completion{};
+      c->refs = 1;  // the frame's own reference
+      c->bucket = bucket;
+      detail::tl_pending_completion = c;
+      return static_cast<std::byte*>(block) + detail::kCompletionHeaderBytes;
+    }
+
+    static void operator delete(void* frame) noexcept {
+      auto* c = reinterpret_cast<detail::Completion*>(
+          static_cast<std::byte*>(frame) - detail::kCompletionHeaderBytes);
+      detail::release_ref(c);
+    }
+
+    promise_type() : completion_{detail::tl_pending_completion} {
+      assert(completion_ != nullptr);
+      detail::tl_pending_completion = nullptr;
+    }
+
+    Coro get_return_object() {
+      ++completion_->refs;  // the Coro handle's reference
+      return Coro{completion_};
+    }
     std::suspend_never initial_suspend() noexcept { return {}; }  // eager start
     FinalAwaiter final_suspend() noexcept { return {}; }
     void return_void() {}
@@ -75,29 +218,46 @@ class [[nodiscard]] Coro {
   };
 
   Coro() = default;
-  Coro(Coro&&) noexcept = default;
-  Coro& operator=(Coro&&) noexcept = default;
+  Coro(Coro&& other) noexcept
+      : completion_{std::exchange(other.completion_, nullptr)} {}
+  Coro& operator=(Coro&& other) noexcept {
+    if (this != &other) {
+      drop();
+      completion_ = std::exchange(other.completion_, nullptr);
+    }
+    return *this;
+  }
   Coro(const Coro&) = delete;
   Coro& operator=(const Coro&) = delete;
-  ~Coro() = default;
+  ~Coro() { drop(); }
 
-  [[nodiscard]] bool done() const { return !state_ || state_->finished; }
+  [[nodiscard]] bool done() const {
+    return completion_ == nullptr || completion_->finished;
+  }
 
   /// Let the process run unowned. Frames free themselves on completion, so
-  /// this only drops the handle.
-  void detach() { state_.reset(); }
+  /// this only drops the handle's reference.
+  void detach() { drop(); }
 
   /// Awaiting a Coro suspends the awaiter until the child completes (join).
   bool await_ready() const noexcept { return done(); }
   void await_suspend(std::coroutine_handle<> parent) noexcept {
-    assert(state_ && !state_->continuation && "Coro joined twice");
-    state_->continuation = parent;
+    assert(completion_ != nullptr && !completion_->continuation &&
+           "Coro joined twice");
+    completion_->continuation = parent;
   }
   void await_resume() const noexcept {}
 
  private:
-  explicit Coro(std::shared_ptr<State> state) : state_{std::move(state)} {}
-  std::shared_ptr<State> state_;
+  explicit Coro(detail::Completion* completion) : completion_{completion} {}
+
+  void drop() noexcept {
+    if (completion_ != nullptr) {
+      detail::release_ref(std::exchange(completion_, nullptr));
+    }
+  }
+
+  detail::Completion* completion_ = nullptr;
 };
 
 /// co_await Delay{engine, d}: resume after `d` of simulated time.
@@ -110,6 +270,32 @@ struct Delay {
     engine.schedule_in(duration, [h] { h.resume(); });
   }
   void await_resume() const noexcept {}
+};
+
+/// FIFO queue of parked coroutines. A vector with a consumed-prefix index
+/// instead of std::deque: pushes reuse the same contiguous buffer once it has
+/// grown to the waiter high-water mark, so steady-state park/wake cycles
+/// allocate nothing.
+class WaiterQueue {
+ public:
+  void push(std::coroutine_handle<> h) { q_.push_back(h); }
+
+  std::coroutine_handle<> pop() {
+    assert(head_ < q_.size());
+    std::coroutine_handle<> h = q_[head_++];
+    if (head_ == q_.size()) {
+      q_.clear();
+      head_ = 0;
+    }
+    return h;
+  }
+
+  [[nodiscard]] bool empty() const { return head_ == q_.size(); }
+  [[nodiscard]] std::size_t size() const { return q_.size() - head_; }
+
+ private:
+  std::vector<std::coroutine_handle<>> q_;
+  std::size_t head_ = 0;
 };
 
 /// Broadcast condition: all current waiters are resumed on signal().
@@ -127,11 +313,16 @@ class Condition {
   };
   Awaiter wait() { return Awaiter{*this}; }
 
-  /// Wake every coroutine currently waiting.
+  /// Wake every coroutine currently waiting. The waiter list is swapped into
+  /// a member scratch buffer (not a fresh vector) so repeated signal cycles
+  /// reuse both buffers' capacity; schedule_in only enqueues, so nothing
+  /// re-enters this object while we iterate.
   void signal() {
-    std::vector<std::coroutine_handle<>> woken;
-    woken.swap(waiters_);
-    for (auto h : woken) engine_.schedule_in(Time::zero(), [h] { h.resume(); });
+    scratch_.swap(waiters_);
+    for (auto h : scratch_) {
+      engine_.schedule_in(Time::zero(), [h] { h.resume(); });
+    }
+    scratch_.clear();
   }
 
   [[nodiscard]] std::size_t waiter_count() const { return waiters_.size(); }
@@ -139,6 +330,7 @@ class Condition {
  private:
   Engine& engine_;
   std::vector<std::coroutine_handle<>> waiters_;
+  std::vector<std::coroutine_handle<>> scratch_;
 };
 
 /// Counting semaphore with FIFO wake-up.
@@ -156,15 +348,14 @@ class Semaphore {
       }
       return false;
     }
-    void await_suspend(std::coroutine_handle<> h) { sem.waiters_.push_back(h); }
+    void await_suspend(std::coroutine_handle<> h) { sem.waiters_.push(h); }
     void await_resume() const noexcept {}
   };
   Awaiter acquire() { return Awaiter{*this}; }
 
   void release(std::int64_t n = 1) {
     while (n > 0 && !waiters_.empty()) {
-      auto h = waiters_.front();
-      waiters_.pop_front();
+      auto h = waiters_.pop();
       engine_.schedule_in(Time::zero(), [h] { h.resume(); });
       --n;
     }
@@ -177,7 +368,7 @@ class Semaphore {
  private:
   Engine& engine_;
   std::int64_t count_;
-  std::deque<std::coroutine_handle<>> waiters_;
+  WaiterQueue waiters_;
 };
 
 /// Unbounded typed channel; receivers block while empty.

@@ -52,13 +52,13 @@ void Engine::pop_top() {
 
 void Engine::release(std::uint32_t slot) {
   Slot& s = slots_[slot];
-  s.fn = nullptr;
+  s.fn.reset();
   s.armed = false;
   ++s.gen;
   free_.push_back(slot);
 }
 
-EventHandle Engine::schedule_at(Time at, std::function<void()> fn) {
+EventHandle Engine::schedule_at(Time at, InlineEvent fn) {
   if (at < now_) throw std::logic_error("Engine::schedule_at: time in the past");
   std::uint32_t slot;
   if (!free_.empty()) {
@@ -91,7 +91,7 @@ bool Engine::step() {
     // Move the callable out and free the slot *before* invoking: the
     // callback may schedule new events (which may reuse this slot) or
     // cancel through a stale handle (which the bumped generation defeats).
-    std::function<void()> fn = std::move(slots_[slot].fn);
+    InlineEvent fn = std::move(slots_[slot].fn);
     release(slot);
     fn();
     return true;

@@ -7,17 +7,17 @@
 //
 // Storage layout: events live in a slab of reusable slots (free-list
 // recycling), and the priority queue is an implicit 4-ary heap of slot
-// indices. Scheduling an event after warm-up allocates nothing besides the
-// closure's own capture (std::function small-buffer permitting), and
-// cancellation is a generation-checked flag flip — no shared_ptr control
-// block per event, no heap churn at 100k in-flight timers.
+// indices. The event payload is an InlineEvent — the capture lives inside
+// the slot, recycled with it — so scheduling an event after warm-up
+// allocates nothing at all: no std::function heap path, no shared_ptr
+// control block per event, no heap churn at 100k in-flight timers.
 #pragma once
 
 #include <cassert>
 #include <cstdint>
-#include <functional>
 #include <vector>
 
+#include "sim/inline_event.hpp"
 #include "sim/time.hpp"
 
 namespace nistream::sim {
@@ -59,10 +59,10 @@ class Engine {
   [[nodiscard]] Time now() const { return now_; }
 
   /// Schedule `fn` at absolute time `at` (must be >= now()).
-  EventHandle schedule_at(Time at, std::function<void()> fn);
+  EventHandle schedule_at(Time at, InlineEvent fn);
 
   /// Schedule `fn` after `delay` (must be >= 0).
-  EventHandle schedule_in(Time delay, std::function<void()> fn) {
+  EventHandle schedule_in(Time delay, InlineEvent fn) {
     return schedule_at(now_ + delay, std::move(fn));
   }
 
@@ -88,7 +88,7 @@ class Engine {
     Time at = Time::zero();
     std::uint64_t seq = 0;
     std::uint64_t gen = 0;  // bumped on release; stale handles see a mismatch
-    std::function<void()> fn;
+    InlineEvent fn;
     bool armed = false;  // false = cancelled or fired; popped lazily
   };
 

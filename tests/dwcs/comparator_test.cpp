@@ -12,8 +12,6 @@ StreamView view(sim::Time deadline, std::int64_t x, std::int64_t y) {
   StreamView v;
   v.next_deadline = deadline;
   v.current = {x, y};
-  v.original = {x, y};
-  v.has_backlog = true;
   return v;
 }
 

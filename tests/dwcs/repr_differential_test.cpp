@@ -29,7 +29,7 @@ using sim::Time;
 
 class FakeTable final : public StreamTable {
  public:
-  const StreamView& view(StreamId id) const override { return views_[id]; }
+  FakeTable() : StreamTable{views_} {}
   StreamView& mutable_view(StreamId id) { return views_[id]; }
   StreamId add(const StreamView& v) {
     views_.push_back(v);
@@ -81,18 +81,20 @@ TEST(ReprDifferential, RandomizedLockStep) {
       const std::int64_t y = 1 + static_cast<std::int64_t>(rng.below(6));
       const std::int64_t x = static_cast<std::int64_t>(
           rng.below(static_cast<std::uint64_t>(y + 1)));
-      v.original = {x, y};
-      v.current = v.original;
+      v.current = {x, y};  // fresh stream: current == original constraint
       const int period_ms = 10 * (1 + static_cast<int>(rng.below(4)));
       v.next_deadline = now + Time::ms(period_ms);
       v.head_enqueued_at = now;
-      v.has_backlog = true;
       return v;
     };
+    // Original window constraints, per stream — the harness's stand-in for
+    // StreamParams::tolerance (StreamView carries only the current one).
+    std::vector<WindowConstraint> originals;
 
     Time now = Time::zero();
     for (int i = 0; i < 24; ++i) {
       const auto id = h.table.add(random_view(now));
+      originals.push_back(h.table.mutable_view(id).current);
       h.present.push_back(false);
       h.insert(id);
     }
@@ -106,6 +108,7 @@ TEST(ReprDifferential, RandomizedLockStep) {
       const auto op = rng.below(10);
       if (op == 0 && h.table.size() < 64) {
         const auto id = h.table.add(random_view(now));
+        originals.push_back(h.table.mutable_view(id).current);
         h.present.push_back(false);
         h.insert(id);
         ++backlogged;
@@ -116,6 +119,7 @@ TEST(ReprDifferential, RandomizedLockStep) {
           --backlogged;
         } else if (!h.present[id]) {
           h.table.mutable_view(id) = random_view(now);
+          originals[id] = h.table.mutable_view(id).current;
           h.insert(id);
           ++backlogged;
         }
@@ -162,7 +166,7 @@ TEST(ReprDifferential, RandomizedLockStep) {
         dispatched.push_back(*pick0);
         auto& v = h.table.mutable_view(*pick0);
         if (v.current.y > v.current.x) --v.current.y;
-        if (v.current.y == v.current.x) v.current = v.original;
+        if (v.current.y == v.current.x) v.current = originals[*pick0];
         v.next_deadline += Time::ms(10 * (1 + static_cast<double>(rng.below(4))));
         h.update(*pick0);
       }

@@ -1,0 +1,124 @@
+// InlineEvent semantics: the fixed-capacity inline callable that replaced
+// std::function in the engine's event slots. These tests pin the contract
+// the slab relies on — inline storage (no allocation), correct ops-table
+// dispatch for move/destroy of non-trivial captures, and reset semantics.
+#include "sim/inline_event.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+
+#include "sim/engine.hpp"
+
+namespace nistream::sim {
+namespace {
+
+TEST(InlineEvent, EmptyIsFalseAndInvocableAfterAssignment) {
+  InlineEvent e;
+  EXPECT_FALSE(e);
+  int hits = 0;
+  e = InlineEvent{[&hits] { ++hits; }};
+  ASSERT_TRUE(e);
+  e();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(InlineEvent, CaptureAtTheByteBudgetFits) {
+  struct Big {
+    std::byte pad[InlineEvent::kCaptureBytes - sizeof(int*)];
+    int* out;
+  };
+  static_assert(sizeof(Big) == InlineEvent::kCaptureBytes);
+  int hit = 0;
+  Big big{};
+  big.out = &hit;
+  InlineEvent e{[big] { ++*big.out; }};
+  e();
+  EXPECT_EQ(hit, 1);
+}
+
+TEST(InlineEvent, MoveTransfersTheCallable) {
+  int hits = 0;
+  InlineEvent a{[&hits] { ++hits; }};
+  InlineEvent b{std::move(a)};
+  EXPECT_FALSE(a);  // NOLINT(bugprone-use-after-move) — contract under test
+  ASSERT_TRUE(b);
+  b();
+  EXPECT_EQ(hits, 1);
+
+  InlineEvent c;
+  c = std::move(b);
+  EXPECT_FALSE(b);  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(c);
+  c();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineEvent, MoveOnlyCapturesWork) {
+  auto box = std::make_unique<int>(41);
+  InlineEvent e{[box = std::move(box)] { ++*box; }};
+  InlineEvent moved{std::move(e)};
+  moved();  // no observable output — just must not crash or double-free
+  ASSERT_TRUE(moved);
+}
+
+TEST(InlineEvent, DestroyAndResetReleaseTheCapture) {
+  auto token = std::make_shared<int>(7);
+  std::weak_ptr<int> watch = token;
+  {
+    InlineEvent e{[token = std::move(token)] { (void)*token; }};
+    EXPECT_FALSE(watch.expired());
+    e.reset();
+    EXPECT_TRUE(watch.expired()) << "reset must run the capture's destructor";
+    EXPECT_FALSE(e);
+  }
+
+  token = std::make_shared<int>(8);
+  watch = token;
+  {
+    InlineEvent e{[token = std::move(token)] { (void)*token; }};
+    EXPECT_FALSE(watch.expired());
+  }
+  EXPECT_TRUE(watch.expired()) << "scope exit must destroy the capture";
+}
+
+TEST(InlineEvent, MoveAssignmentDestroysThePreviousCapture) {
+  auto old_token = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = old_token;
+  InlineEvent e{[t = std::move(old_token)] { (void)t; }};
+  e = InlineEvent{[] {}};
+  EXPECT_TRUE(watch.expired())
+      << "assignment must release the replaced capture";
+  ASSERT_TRUE(e);
+}
+
+TEST(InlineEvent, EngineReleasesCaptureWhenEventFires) {
+  Engine eng;
+  auto token = std::make_shared<int>(0);
+  std::weak_ptr<int> watch = token;
+  eng.schedule_in(Time::ms(1), [token = std::move(token)] { ++*token; });
+  EXPECT_FALSE(watch.expired());
+  eng.run();
+  EXPECT_TRUE(watch.expired())
+      << "a fired event's capture must not linger in the recycled slot";
+}
+
+TEST(InlineEvent, EngineReleasesCaptureWhenEventCancelled) {
+  Engine eng;
+  auto token = std::make_shared<int>(0);
+  std::weak_ptr<int> watch = token;
+  auto h =
+      eng.schedule_in(Time::ms(1), [token = std::move(token)] { ++*token; });
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  // Cancellation is lazy: the capture is destroyed when the dead heap entry
+  // is popped, which draining the engine forces.
+  eng.run();
+  EXPECT_TRUE(watch.expired())
+      << "a cancelled event's capture must be destroyed once the slot "
+         "recycles";
+}
+
+}  // namespace
+}  // namespace nistream::sim
