@@ -20,12 +20,32 @@ namespace nistream::bench {
 /// provenance stamp (git_rev, jobs) emitted by write_stamp below.
 inline constexpr int kJsonSchemaVersion = 2;
 
-/// Revision the bench binary was built from: the NISTREAM_GIT_REV compile
-/// definition (CMake captures `git describe --always` at configure time),
-/// overridable at run time via the NISTREAM_GIT_REV environment variable
-/// (CI stamps the exact checkout even on stale build trees).
+/// Revision of the tree the bench RAN against, resolved at run time:
+///   1. NISTREAM_GIT_REV environment variable (CI stamps the exact checkout
+///      even on stale build trees);
+///   2. `git describe --always --dirty` in the source directory, so a tree
+///      that was dirty at configure time but clean at run time stamps the
+///      clean rev (a configure-time-only stamp once shipped "<rev>-dirty"
+///      into a tracked JSON from a clean commit);
+///   3. the NISTREAM_GIT_REV compile definition (configure-time fallback for
+///      builds whose source tree has moved or lost .git);
+///   4. "unknown".
 inline std::string git_rev() {
   if (const char* env = std::getenv("NISTREAM_GIT_REV")) return env;
+#ifdef NISTREAM_SOURCE_DIR
+  const std::string cmd = std::string{"git -C \""} + NISTREAM_SOURCE_DIR +
+                          "\" describe --always --dirty 2>/dev/null";
+  if (FILE* pipe = ::popen(cmd.c_str(), "r")) {
+    char buf[128] = {};
+    std::string rev;
+    if (std::fgets(buf, sizeof buf, pipe)) rev = buf;
+    const int rc = ::pclose(pipe);
+    while (!rev.empty() && (rev.back() == '\n' || rev.back() == '\r')) {
+      rev.pop_back();
+    }
+    if (rc == 0 && !rev.empty()) return rev;
+  }
+#endif
 #ifdef NISTREAM_GIT_REV
   return NISTREAM_GIT_REV;
 #else
@@ -33,13 +53,39 @@ inline std::string git_rev() {
 #endif
 }
 
+/// True when `rev` has the shape git_rev() promises: "unknown", or a 7-40
+/// char lowercase-hex object name with an optional "-dirty" suffix. The
+/// runner tests pin this so a malformed stamp (empty string, trailing
+/// newline, shell noise) fails fast instead of landing in a tracked JSON.
+inline bool git_rev_well_formed(const std::string& rev) {
+  if (rev == "unknown") return true;
+  std::string hex = rev;
+  const std::string dirty = "-dirty";
+  if (hex.size() > dirty.size() &&
+      hex.compare(hex.size() - dirty.size(), dirty.size(), dirty) == 0) {
+    hex.resize(hex.size() - dirty.size());
+  }
+  if (hex.size() < 7 || hex.size() > 40) return false;
+  for (char c : hex) {
+    if (!((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))) return false;
+  }
+  return true;
+}
+
+/// git_rev() captured during static initialization, BEFORE main() runs and
+/// before the bench opens (and thereby dirties) its own tracked output
+/// JSON. Self-stamping runs from a clean checkout stamp the clean rev; the
+/// old call-at-write-time scheme always saw its own in-progress write as
+/// "-dirty".
+inline const std::string kGitRevAtStartup = git_rev();
+
 /// Provenance stamp, written right after the opening "bench" key of every
 /// tracked JSON. `jobs` records the worker count the sweep ran under — it is
 /// the ONLY line allowed to differ between `--jobs 1` and `--jobs N` runs of
 /// a deterministic sweep (CI diffs the rest).
 inline void write_stamp(std::ofstream& out, unsigned jobs) {
   out << "  \"schema_version\": " << kJsonSchemaVersion << ",\n"
-      << "  \"git_rev\": \"" << git_rev() << "\",\n"
+      << "  \"git_rev\": \"" << kGitRevAtStartup << "\",\n"
       << "  \"jobs\": " << jobs << ",\n";
 }
 

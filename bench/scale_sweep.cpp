@@ -1,6 +1,8 @@
 // Wall-clock scale sweep: host-side decisions/sec and per-decision latency
-// of `DwcsScheduler::schedule_next` at 1k / 10k / 100k concurrent streams,
-// per schedule representation.
+// of `DwcsScheduler::schedule_next` at 1k / 10k / 100k / 1M concurrent
+// streams, per schedule representation. The hierarchical (sharded multi-core)
+// representation is swept over `--shards=1,2,4,8,16` as an ablation: shard
+// count is the one new axis, everything else identical.
 //
 // This bench measures the HOST clock, not the simulated i960 clock: the
 // scheduler runs with the null cost hook, so no cycles are charged and the
@@ -25,10 +27,21 @@
 // results are emitted in grid order regardless). NOTE: parallel cells
 // contend for cores, so publication-grade wall-clock numbers should use
 // `--jobs 1`. `--smoke` shrinks the grid and budgets for CI gate runs.
+//
+// `--identity` switches to the CI decision-identity contract instead of a
+// timed sweep: dual-heap and hierarchical (each `--shards` value) each take
+// the SAME fixed number of decisions at `--streams=N` (default 100k) from
+// identically seeded workloads, and the binary exits non-zero unless every
+// hierarchical row dispatched the exact same stream sequence (count + FNV
+// hash) as the dual-heap reference. This is the machine-checked form of the
+// total-order argument: rules 1-5 end at "lowest stream id", so the full
+// DWCS order has no ties, and a min over per-shard minima equals the global
+// min for ANY shard count.
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -50,7 +63,8 @@ using Clock = std::chrono::steady_clock;
 namespace {
 
 struct SweepResult {
-  const char* repr = "";
+  std::string repr;
+  std::uint32_t shards = 0;  // non-zero only for the hierarchical repr
   std::size_t streams = 0;
   bool skipped = false;
   const char* skip_reason = "";
@@ -69,10 +83,12 @@ double elapsed_sec(Clock::time_point t0) {
 /// deadline ties are the common case, as in the paper's testbed) and a small
 /// standing backlog per stream.
 std::unique_ptr<dwcs::DwcsScheduler> make_loaded_scheduler(dwcs::ReprKind kind,
+                                                           std::uint32_t shards,
                                                            std::size_t n,
                                                            std::uint64_t seed) {
   dwcs::DwcsScheduler::Config cfg;
   cfg.repr = kind;
+  cfg.hierarchical.shards = shards == 0 ? 1 : shards;
   cfg.ring_capacity = 8;
   auto sched = std::make_unique<dwcs::DwcsScheduler>(cfg);
   sim::Rng rng{seed ^ n};
@@ -114,11 +130,13 @@ bool step(dwcs::DwcsScheduler& sched, sim::Time& now, std::uint64_t& next_fid) {
   return true;
 }
 
-SweepResult run_config(dwcs::ReprKind kind, std::size_t n, std::uint64_t seed,
+SweepResult run_config(dwcs::ReprKind kind, std::uint32_t shards,
+                       std::size_t n, std::uint64_t seed,
                        double throughput_budget_sec,
                        double latency_budget_sec) {
   SweepResult r;
   r.repr = dwcs::to_string(kind);
+  r.shards = kind == dwcs::ReprKind::kHierarchical ? shards : 0;
   r.streams = n;
   if (kind == dwcs::ReprKind::kSortedList && n > 20'000) {
     // O(n) insert per enqueue makes even the setup phase O(n^2); at 100k
@@ -128,11 +146,20 @@ SweepResult run_config(dwcs::ReprKind kind, std::size_t n, std::uint64_t seed,
     r.skip_reason = "setup is O(n^2) at this scale";
     return r;
   }
+  if (kind == dwcs::ReprKind::kFcfs && n >= 1'000'000) {
+    // pick() and earliest_deadline() are O(n) scans, so one 512-decision
+    // batch of the throughput loop touches ~10^9 stream views at 1M streams
+    // — minutes of wall-clock for a number already unambiguous at 100k.
+    r.skipped = true;
+    r.skip_reason = "O(n)-scan pick makes the measurement loop O(n^2) at "
+                    "this scale";
+    return r;
+  }
 
   // Throughput pass: no per-decision clock reads; check the budget every
   // 512 decisions so timer overhead does not pollute decisions/sec.
   {
-    auto sched = make_loaded_scheduler(kind, n, seed);
+    auto sched = make_loaded_scheduler(kind, shards, n, seed);
     sim::Time now = sim::Time::zero();
     std::uint64_t fid = n;
     const auto t0 = Clock::now();
@@ -152,7 +179,7 @@ SweepResult run_config(dwcs::ReprKind kind, std::size_t n, std::uint64_t seed,
 
   // Latency pass: fresh scheduler, every decision timed individually.
   {
-    auto sched = make_loaded_scheduler(kind, n, seed);
+    auto sched = make_loaded_scheduler(kind, shards, n, seed);
     sim::Time now = sim::Time::zero();
     std::uint64_t fid = n;
     std::vector<std::uint32_t> lat_ns;
@@ -303,6 +330,7 @@ bool write_json(const std::vector<SweepResult>& results,
   for (std::size_t i = 0; i < results.size(); ++i) {
     const auto& r = results[i];
     out << "    {\"repr\": \"" << r.repr << "\", \"streams\": " << r.streams;
+    if (r.shards != 0) out << ", \"shards\": " << r.shards;
     if (r.skipped) {
       out << ", \"skipped\": true, \"skip_reason\": \"" << r.skip_reason
           << "\"}";
@@ -337,18 +365,143 @@ bool write_json(const std::vector<SweepResult>& results,
   return true;
 }
 
+// ---------------------------------------------------------------------------
+// --identity: the CI decision-identity contract.
+// ---------------------------------------------------------------------------
+
+struct IdentityRow {
+  std::string repr;
+  std::uint32_t shards = 0;
+  std::uint64_t decisions = 0;
+  std::uint64_t dispatch_fnv = 0;
+};
+
+/// Take exactly `budget` decisions and fold every dispatched stream id into
+/// an FNV-1a hash: two reprs that agree on (decisions, dispatch_fnv) made
+/// the same decision at every step.
+IdentityRow run_identity_cell(dwcs::ReprKind kind, std::uint32_t shards,
+                              std::size_t n, std::uint64_t seed,
+                              std::uint64_t budget) {
+  IdentityRow row;
+  row.repr = dwcs::to_string(kind);
+  row.shards = kind == dwcs::ReprKind::kHierarchical ? shards : 0;
+  auto sched = make_loaded_scheduler(kind, shards, n, seed);
+  sim::Time now = sim::Time::zero();
+  std::uint64_t fid = n;
+  std::uint64_t fnv = 14695981039346656037ull;
+  for (std::uint64_t k = 0; k < budget; ++k) {
+    if (const auto next = sched->earliest_backlog_deadline();
+        next && *next > now) {
+      now = *next;
+    }
+    const auto d = sched->schedule_next(now);
+    if (!d) break;
+    ++row.decisions;
+    fnv = (fnv ^ static_cast<std::uint64_t>(d->stream)) * 1099511628211ull;
+    dwcs::FrameDescriptor refill;
+    refill.frame_id = fid++;
+    refill.bytes = mpeg::kPaperFrameBytes;
+    refill.enqueued_at = now;
+    (void)sched->enqueue(d->stream, refill, now);
+  }
+  row.dispatch_fnv = fnv;
+  return row;
+}
+
+int run_identity(const std::vector<std::uint32_t>& shard_list, std::size_t n,
+                 std::uint64_t seed, std::uint64_t budget,
+                 const std::string& out_path, unsigned jobs) {
+  std::vector<IdentityRow> rows(1 + shard_list.size());
+  bench::run_cells(rows.size(), jobs, [&](std::size_t i) {
+    rows[i] = i == 0 ? run_identity_cell(dwcs::ReprKind::kDualHeap, 0, n, seed,
+                                         budget)
+                     : run_identity_cell(dwcs::ReprKind::kHierarchical,
+                                         shard_list[i - 1], n, seed, budget);
+  });
+
+  std::printf("==== scale sweep --identity: %zu streams, %llu decisions "
+              "====\n",
+              n, static_cast<unsigned long long>(budget));
+  std::printf("%-16s %8s %12s %18s\n", "repr", "shards", "decisions",
+              "dispatch_fnv");
+  bool ok = true;
+  for (const auto& r : rows) {
+    const bool match = r.decisions == rows[0].decisions &&
+                       r.dispatch_fnv == rows[0].dispatch_fnv;
+    ok = ok && match;
+    std::printf("%-16s %8u %12llu %18llx%s\n", r.repr.c_str(), r.shards,
+                static_cast<unsigned long long>(r.decisions),
+                static_cast<unsigned long long>(r.dispatch_fnv),
+                match ? "" : "  <-- MISMATCH vs dual-heap");
+  }
+
+  std::ofstream out{out_path};
+  if (!out) {
+    std::printf("could not write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << "{\n  \"bench\": \"scale_sweep_identity\",\n";
+  bench::write_stamp(out, jobs);
+  out << "  \"seed\": " << seed << ",\n  \"streams\": " << n
+      << ",\n  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    out << "    {\"repr\": \"" << r.repr << "\", \"shards\": " << r.shards
+        << ", \"decisions\": " << r.decisions << ", \"dispatch_fnv\": \""
+        << std::hex << r.dispatch_fnv << std::dec << "\"}"
+        << (i + 1 < rows.size() ? ",\n" : "\n");
+  }
+  out << "  ],\n  \"identical\": " << (ok ? "true" : "false") << "\n}\n";
+  std::printf("wrote %s\n", out_path.c_str());
+  if (!ok) std::printf("DECISION-IDENTITY VIOLATION\n");
+  return ok ? 0 : 1;
+}
+
+/// Parse "1,2,4,8" into shard counts; zero entries clamp to 1.
+std::vector<std::uint32_t> parse_shards(const std::string& s) {
+  std::vector<std::uint32_t> out;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    const std::size_t comma = s.find(',', pos);
+    const std::string tok =
+        s.substr(pos, comma == std::string::npos ? std::string::npos
+                                                 : comma - pos);
+    if (!tok.empty()) {
+      const unsigned long v = std::strtoul(tok.c_str(), nullptr, 10);
+      out.push_back(v == 0 ? 1u : static_cast<std::uint32_t>(v));
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (out.empty()) out.push_back(1);
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string out_path =
-      bench::out_path(argc, argv, "BENCH_scale.json");
   const std::uint64_t seed = bench::flag_u64(argc, argv, "seed", 0x5ca1e);
   const unsigned jobs = bench::flag_jobs(argc, argv);
   const bool smoke = bench::flag_present(argc, argv, "smoke");
+  const std::vector<std::uint32_t> shard_list =
+      parse_shards(bench::flag_str(argc, argv, "shards", "1,2,4,8,16"));
+
+  if (bench::flag_present(argc, argv, "identity")) {
+    const std::size_t n = static_cast<std::size_t>(
+        bench::flag_u64(argc, argv, "streams", 100'000));
+    const std::uint64_t budget =
+        bench::flag_u64(argc, argv, "decisions", 20'000);
+    return run_identity(shard_list, n, seed, budget,
+                        bench::out_path(argc, argv,
+                                        "BENCH_scale_identity.json"),
+                        jobs);
+  }
+  const std::string out_path =
+      bench::out_path(argc, argv, "BENCH_scale.json");
 
   const std::vector<std::size_t> sizes =
       smoke ? std::vector<std::size_t>{1'000}
-            : std::vector<std::size_t>{1'000, 10'000, 100'000};
+            : std::vector<std::size_t>{1'000, 10'000, 100'000, 1'000'000};
   const double throughput_budget = smoke ? 0.02 : 0.25;
   const double latency_budget = smoke ? 0.02 : 0.15;
   const std::vector<dwcs::ReprKind> kinds{
@@ -358,11 +511,18 @@ int main(int argc, char** argv) {
 
   struct ReprCell {
     dwcs::ReprKind kind;
+    std::uint32_t shards;
     std::size_t streams;
   };
   std::vector<ReprCell> repr_cells;
   for (const auto kind : kinds) {
-    for (const auto n : sizes) repr_cells.push_back({kind, n});
+    for (const auto n : sizes) repr_cells.push_back({kind, 0, n});
+  }
+  // Shard-count ablation: the hierarchical repr at every size x shard count.
+  for (const auto sh : shard_list) {
+    for (const auto n : sizes) {
+      repr_cells.push_back({dwcs::ReprKind::kHierarchical, sh, n});
+    }
   }
 
   std::printf("==== scale sweep: wall-clock schedule_next throughput, "
@@ -370,18 +530,22 @@ int main(int argc, char** argv) {
               jobs, smoke ? " (smoke)" : "");
   std::vector<SweepResult> results(repr_cells.size());
   bench::run_cells(repr_cells.size(), jobs, [&](std::size_t i) {
-    results[i] = run_config(repr_cells[i].kind, repr_cells[i].streams, seed,
-                            throughput_budget, latency_budget);
+    results[i] = run_config(repr_cells[i].kind, repr_cells[i].shards,
+                            repr_cells[i].streams, seed, throughput_budget,
+                            latency_budget);
   });
-  std::printf("%-16s %10s %16s %12s %12s\n", "repr", "streams",
+  std::printf("%-16s %8s %10s %16s %12s %12s\n", "repr", "shards", "streams",
               "decisions/sec", "p50 ns", "p99 ns");
   for (const auto& r : results) {
+    char shards_col[16] = "-";
+    if (r.shards != 0) std::snprintf(shards_col, sizeof shards_col, "%u", r.shards);
     if (r.skipped) {
-      std::printf("%-16s %10zu %16s (%s)\n", r.repr, r.streams, "skipped",
-                  r.skip_reason);
+      std::printf("%-16s %8s %10zu %16s (%s)\n", r.repr.c_str(), shards_col,
+                  r.streams, "skipped", r.skip_reason);
     } else {
-      std::printf("%-16s %10zu %16.0f %12.0f %12.0f\n", r.repr, r.streams,
-                  r.decisions_per_sec, r.p50_ns, r.p99_ns);
+      std::printf("%-16s %8s %10zu %16.0f %12.0f %12.0f\n", r.repr.c_str(),
+                  shards_col, r.streams, r.decisions_per_sec, r.p50_ns,
+                  r.p99_ns);
     }
   }
 

@@ -58,9 +58,17 @@ class NiSchedulerServer {
                     const hw::Calibration& cal = {})
       : board_{"scheduler-ni", engine, bus, ether,
                [](const hw::EthFrame&) {}, cal},
-        kernel_{engine, board_.cpu(), cal.rtos},
+        kernel_{engine, board_.cpu(), cal.rtos, cal.interconnect.cores},
         runtime_{board_, kernel_},
         host_api_{engine, board_.i2o()} {
+    // A hierarchical scheduler on a multi-core board inherits the board's
+    // interconnect hop cost unless the config already set one — the
+    // calibration is the single source of hardware constants.
+    if (config.scheduler.repr == dwcs::ReprKind::kHierarchical &&
+        config.scheduler.hierarchical.hop_cycles == 0) {
+      config.scheduler.hierarchical.hop_cycles =
+          cal.interconnect.core_hop_cycles;
+    }
     auto ext = std::make_unique<dvcm::DwcsExtension>(config, ether, cal);
     extension_ = ext.get();
     runtime_.start();

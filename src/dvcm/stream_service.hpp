@@ -48,6 +48,11 @@ struct StreamCheckpoint {
 class StreamService {
  public:
   struct Config {
+    /// Full scheduler configuration, including repr selection — setting
+    /// repr = ReprKind::kHierarchical (+ hierarchical.shards) here puts the
+    /// sharded multi-core representation on the board; NiSchedulerServer
+    /// seeds hierarchical.hop_cycles from the board calibration's
+    /// interconnect when the config leaves it 0.
     dwcs::DwcsScheduler::Config scheduler{};
     /// Frame-dispatch driver cost beyond the scheduling decision (dequeue,
     /// protocol encapsulation, NIC doorbell). Tables 1-3's "w/o scheduler"

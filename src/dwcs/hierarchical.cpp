@@ -1,0 +1,173 @@
+#include "dwcs/hierarchical.hpp"
+
+#include <cassert>
+
+namespace nistream::dwcs {
+namespace {
+
+/// Simulated card-memory stride between per-core heap regions. A DualHeapRepr
+/// occupies two 0x10000 regions (deadline heap, tolerance heap); each core
+/// gets its own pair so the cache model sees per-core working sets, not one
+/// shared array.
+constexpr SimAddr kCoreStride = 0x20000;
+
+}  // namespace
+
+HierarchicalScheduler::HierarchicalScheduler(const StreamTable& table,
+                                             const Comparator& cmp,
+                                             CostHook& hook, SimAddr base,
+                                             const HierarchicalParams& params)
+    : table_{table},
+      cmp_{cmp},
+      hook_{&hook},
+      charged_{hook.accounted()},
+      hop_cycles_{params.hop_cycles},
+      root_pick_{RootWinnerLess{this}, hook,
+                 base + params.shards * kCoreStride},
+      root_deadline_{RootDeadlineLess{this}, hook,
+                     base + params.shards * kCoreStride + 0x10000} {
+  const std::uint32_t n = params.shards == 0 ? 1 : params.shards;
+  cores_.reserve(n);
+  for (std::uint32_t s = 0; s < n; ++s) {
+    cores_.push_back(std::make_unique<DualHeapRepr>(
+        table, cmp, hook, base + static_cast<SimAddr>(s) * kCoreStride));
+  }
+  winner_.assign(n, kInvalidStream);
+  edl_.assign(n, kInvalidStream);
+  population_.assign(n, 0);
+  dirty_.assign(n, 0);
+  dirty_list_.reserve(n);  // at most one entry per shard: allocation-free
+  root_pick_.reserve(n);
+  root_deadline_.reserve(n);
+}
+
+void HierarchicalScheduler::refresh(std::uint32_t s, StreamId mutated) {
+  const StreamId old_w = winner_[s];
+  const StreamId old_e = edl_[s];
+  const auto w = cores_[s]->pick();
+  const StreamId new_w = w ? *w : kInvalidStream;
+  const StreamId new_e =
+      w ? *cores_[s]->earliest_deadline() : kInvalidStream;
+
+  // Caches first, root sifts second: the root comparators read winner_/edl_
+  // through `this`, so both entries must hold the new ids before any compare
+  // fires.
+  winner_[s] = new_w;
+  edl_[s] = new_e;
+
+  bool root_changed = false;
+  if (new_w == kInvalidStream) {
+    if (old_w != kInvalidStream) {
+      // The core went idle; retire both of its root entries.
+      root_pick_.erase(s);
+      root_deadline_.erase(s);
+      root_changed = true;
+    }
+  } else if (old_w == kInvalidStream) {
+    // The core came alive; enter the root arbiter.
+    root_pick_.push(s);
+    root_deadline_.push(s);
+    root_changed = true;
+  } else {
+    // Re-sift only the entries the mutation could have changed: a new id,
+    // or the cached stream itself mutated (its key changed under the root).
+    if (new_w != old_w || mutated == new_w) {
+      root_pick_.update(s);
+      root_changed = true;
+    }
+    if (new_e != old_e || mutated == new_e) {
+      root_deadline_.update(s);
+      root_changed = true;
+    }
+  }
+
+  // One winner-update message per mutation that changed what the root sees:
+  // the fixed-latency on-chip hop of the distributed-NP interconnect model.
+  // Single-core boards (1 shard) have no interconnect to cross.
+  if (root_changed && charged_ && hop_cycles_ > 0 && cores_.size() > 1) {
+    hook_->cycles(hop_cycles_);
+  }
+}
+
+void HierarchicalScheduler::flush_dirty() {
+  for (const auto s : dirty_list_) {
+    dirty_[s] = 0;
+    const StreamId old_w = winner_[s];
+    const auto w = cores_[s]->pick();
+    const StreamId new_w = w ? *w : kInvalidStream;
+    winner_[s] = new_w;
+    edl_[s] = w ? *cores_[s]->earliest_deadline() : kInvalidStream;
+    if (new_w == kInvalidStream) {
+      if (old_w != kInvalidStream) {
+        root_pick_.erase(s);
+        root_deadline_.erase(s);
+      }
+    } else if (old_w == kInvalidStream) {
+      root_pick_.push(s);
+      root_deadline_.push(s);
+    } else {
+      // Any number of mutations may have landed since the last repair; both
+      // cached keys may have changed even when the cached ids did not, so
+      // re-sift unconditionally (an in-place update of an unmoved entry is
+      // two compares on an N-entry heap).
+      root_pick_.update(s);
+      root_deadline_.update(s);
+    }
+  }
+  dirty_list_.clear();
+}
+
+void HierarchicalScheduler::insert(StreamId id) {
+  const auto s = shard_of(id, shards());
+  cores_[s]->insert(id);
+  ++population_[s];
+  if (charged_) {
+    refresh(s, id);
+  } else {
+    mark_dirty(s);
+  }
+}
+
+void HierarchicalScheduler::remove(StreamId id) {
+  const auto s = shard_of(id, shards());
+  cores_[s]->remove(id);
+  assert(population_[s] > 0);
+  --population_[s];
+  if (charged_) {
+    refresh(s, id);
+  } else {
+    mark_dirty(s);
+  }
+}
+
+void HierarchicalScheduler::update(StreamId id) {
+  const auto s = shard_of(id, shards());
+  cores_[s]->update(id);
+  if (charged_) {
+    refresh(s, id);
+  } else {
+    mark_dirty(s);
+  }
+}
+
+void HierarchicalScheduler::reserve(std::size_t n) {
+  // Hash sharding is balanced to within a few sqrt(n/N); a 1/4 slack on the
+  // expected shard size makes growth-free setup the common case without
+  // reserving N times the population.
+  const std::size_t per_core = (n + cores_.size() - 1) / cores_.size();
+  for (auto& core : cores_) core->reserve(per_core + per_core / 4 + 8);
+}
+
+std::optional<StreamId> HierarchicalScheduler::pick() {
+  if (!dirty_list_.empty()) flush_dirty();
+  if (root_pick_.empty()) return std::nullopt;
+  return winner_[root_pick_.top_unchecked()];
+}
+
+std::optional<StreamId> HierarchicalScheduler::earliest_deadline() {
+  if (!dirty_list_.empty()) flush_dirty();
+  if (root_deadline_.empty()) return std::nullopt;
+  return edl_[root_deadline_.top_unchecked()];
+}
+
+}  // namespace nistream::dwcs

@@ -1,0 +1,153 @@
+// Sharded multi-core DWCS: N per-core dual heaps under a tiny root arbiter.
+//
+// The paper's i960 co-processor is single-core, so every representation in
+// repr.cpp models ONE scheduling engine over the whole stream population —
+// and a single heap's O(log n) decision path hits a cache wall an order of
+// magnitude before the million-stream target (BENCH_scale.json: dual-heap
+// decisions/s collapse 2.89M -> 764k from 1k to 100k streams). Modern NIs
+// are not single-core; following *The Distributed Network Processor*
+// (per-core engines plus an on-chip interconnect) and the two-level
+// "winners feed a small root queue" shape of *Programmable Packet
+// Scheduling* (PAPERS.md), this representation shards the stream population
+// across N simulated NI cores:
+//
+//  * Each core runs its own allocation-free DualHeapRepr over its shard.
+//    Shard assignment is a stable hash of the stream id — rebalance-free,
+//    identical across runs and boards (shard_of below).
+//  * A root arbiter keeps two N-entry indexed heaps whose elements are
+//    SHARD indices, ordered by each shard's cached winner under the full
+//    rule-1..5 precedence (pick) and by each shard's cached earliest
+//    deadline under the rule-1+id order (late-packet processing).
+//
+// One decision is: read the root top (O(1)), mutate that stream's shard
+// (O(log shard_size)), re-decide the shard's winner (O(1), its dual heap
+// keeps it on top) and re-sift the two root entries (O(log N)). The hot
+// path is therefore O(log(n/N)) + O(log N) per decision instead of
+// O(log n) over one n-entry structure. Measured on one host core that is
+// roughly a wash — sharding trims the deep (cache-cold) sift levels but
+// pays root maintenance and a spread working set, so the serial bench
+// shows a tie at 1M streams, not a win (docs/performance.md, "Sharded NI
+// scheduling", has the profile). The structural win is what the serial
+// bench cannot show: the O(log(n/N)) shard work is per-core-parallel and
+// per-core cache-resident on a real multi-core NI, and only the O(log N)
+// root arbiter is serialized.
+//
+// Decision identity: the full precedence order is total (rule 5 breaks
+// every tie by stream id), so the minimum over per-shard minima is the
+// global minimum for ANY shard count — pick() and earliest_deadline()
+// return exactly what DualHeapRepr returns, decision for decision. The
+// 1-shard configuration is the degenerate proof anchor (one dual heap, one
+// root entry) and is differentially tested against DualHeapRepr; multi-
+// shard identity is tested on top of it.
+//
+// Cross-core cost model: when a mutation on core c changes what the root
+// sees (the shard's winner or earliest-deadline entry), shipping that
+// update over the on-chip interconnect costs a fixed
+// HierarchicalParams::hop_cycles (default 0 — decision-identity runs add
+// nothing; the ablation charges the hop per PAPERS.md's distributed-NP
+// interconnect model).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "dwcs/dual_heap.hpp"
+#include "dwcs/repr.hpp"
+
+namespace nistream::dwcs {
+
+/// Stable shard assignment: a splitmix64 finalizer over the stream id,
+/// reduced mod `shards`. Pure function of (id, shards) — the same stream
+/// set lands on the same cores in every run, on every board, with no
+/// rebalancing state to checkpoint or ship on failover.
+[[nodiscard]] constexpr std::uint32_t shard_of(StreamId id,
+                                               std::uint32_t shards) {
+  std::uint64_t x = static_cast<std::uint64_t>(id) + 0x9e3779b97f4a7c15ull;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return static_cast<std::uint32_t>(x % shards);
+}
+
+class HierarchicalScheduler final : public ScheduleRepr {
+ public:
+  HierarchicalScheduler(const StreamTable& table, const Comparator& cmp,
+                        CostHook& hook, SimAddr base,
+                        const HierarchicalParams& params);
+
+  void insert(StreamId id) override;
+  void remove(StreamId id) override;
+  void update(StreamId id) override;
+  void reserve(std::size_t n) override;
+  [[nodiscard]] std::optional<StreamId> pick() override;
+  [[nodiscard]] std::optional<StreamId> earliest_deadline() override;
+  [[nodiscard]] const char* name() const override { return "hierarchical"; }
+
+  [[nodiscard]] std::uint32_t shards() const {
+    return static_cast<std::uint32_t>(cores_.size());
+  }
+  /// Streams currently backlogged on core `s` (tests, load introspection).
+  [[nodiscard]] std::size_t shard_population(std::uint32_t s) const {
+    return population_[s];
+  }
+
+ private:
+  // Root-heap comparators. Elements are shard indices; keys are the cached
+  // winner / earliest-deadline stream of each shard, read through the
+  // shared stream table. Root compares charge through the scheduler's
+  // comparator exactly like any other heap compare: the root arbiter is
+  // modeled as one more core doing real work, not free magic.
+  struct RootWinnerLess {
+    const HierarchicalScheduler* h;
+    bool operator()(StreamId sa, StreamId sb) const {
+      const StreamId a = h->winner_[sa], b = h->winner_[sb];
+      return h->cmp_.precedes(h->table_.view(a), a, h->table_.view(b), b);
+    }
+  };
+  struct RootDeadlineLess {
+    const HierarchicalScheduler* h;
+    bool operator()(StreamId sa, StreamId sb) const {
+      return DeadlineIdLess{&h->table_}(h->edl_[sa], h->edl_[sb]);
+    }
+  };
+
+  /// Re-decide shard `s` after mutating `mutated` in it, and re-sift its
+  /// two root entries. Charges one interconnect hop per root entry whose
+  /// content the mutation changed (winner id changed, or the mutated stream
+  /// IS the cached entry so its key changed under the root's feet).
+  void refresh(std::uint32_t s, StreamId mutated);
+
+  /// Uncharged fast path: mutations only mark their shard dirty; the root
+  /// is repaired here, once, at the next query. The common decision cycle
+  /// (remove the dispatched stream, re-insert its refilled ring) dirties one
+  /// shard twice but pays a single winner recompute + root sift — the same
+  /// host-side shortcut licence the uncharged DualHeapRepr uses for its
+  /// shadow heap. Charged runs never take this path: their root stays
+  /// eagerly consistent so each interconnect hop is charged at the mutation
+  /// that caused it, keeping the cycle ledger deterministic.
+  void flush_dirty();
+  void mark_dirty(std::uint32_t s) {
+    if (!dirty_[s]) {
+      dirty_[s] = 1;
+      dirty_list_.push_back(s);
+    }
+  }
+
+  const StreamTable& table_;
+  const Comparator& cmp_;
+  CostHook* hook_;
+  bool charged_;  // cached hook.accounted(); false only for the null hook
+  std::int64_t hop_cycles_;
+  std::vector<std::unique_ptr<DualHeapRepr>> cores_;
+  std::vector<StreamId> winner_;  // per shard; kInvalidStream when empty
+  std::vector<StreamId> edl_;     // per shard; kInvalidStream when empty
+  std::vector<std::size_t> population_;  // streams backlogged per shard
+  std::vector<std::uint8_t> dirty_;      // uncharged: root entry is stale
+  std::vector<std::uint32_t> dirty_list_;  // dirty shards, unordered
+  IndexedHeap<RootWinnerLess> root_pick_;
+  IndexedHeap<RootDeadlineLess> root_deadline_;
+};
+
+}  // namespace nistream::dwcs

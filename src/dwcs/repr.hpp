@@ -15,6 +15,10 @@
 // * SortedListRepr   — insertion-sorted list, O(n) updates, O(1) pick.
 // * FcfsRepr         — arrival order of head packets; ignores attributes.
 // * CalendarQueueRepr— deadline-bucketed calendar queue.
+// * HierarchicalScheduler (hierarchical.hpp) — N per-core dual heaps over
+//                      hash shards of the stream population, arbitrated by
+//                      an N-entry root heap of per-shard winners (the
+//                      sharded multi-core NI model).
 //
 // All representations must agree with SingleHeapRepr on pick() for any state
 // (except FCFS, which deliberately ignores the rules); that equivalence is a
@@ -74,16 +78,30 @@ enum class ReprKind {
   kSortedList,
   kFcfs,
   kCalendarQueue,
+  kHierarchical,
+};
+
+/// Knobs of the sharded multi-core representation (hierarchical.hpp). Lives
+/// here so the repr-selection machinery (DwcsScheduler::Config, make_repr)
+/// can carry it without pulling in the implementation header.
+struct HierarchicalParams {
+  /// Simulated NI cores; each runs a DualHeapRepr over its stream shard.
+  /// Shard assignment is a stable hash of the stream id (rebalance-free).
+  std::uint32_t shards = 8;
+  /// Modeled cost of shipping a shard's winner update across the on-chip
+  /// interconnect to the root arbiter, charged per changed root entry.
+  /// Default 0: decision-identity runs add no cycles the single-core
+  /// dual-heap would not charge. Ablatable (hw::InterconnectParams).
+  std::int64_t hop_cycles = 0;
 };
 
 [[nodiscard]] const char* to_string(ReprKind kind);
 
 /// Create a representation. `table` and `cmp` must outlive the result.
 /// `heap_base` is the simulated address of the representation's storage.
-[[nodiscard]] std::unique_ptr<ScheduleRepr> make_repr(ReprKind kind,
-                                                      const StreamTable& table,
-                                                      const Comparator& cmp,
-                                                      CostHook& hook,
-                                                      SimAddr heap_base);
+/// `hier` is consulted only for ReprKind::kHierarchical.
+[[nodiscard]] std::unique_ptr<ScheduleRepr> make_repr(
+    ReprKind kind, const StreamTable& table, const Comparator& cmp,
+    CostHook& hook, SimAddr heap_base, const HierarchicalParams& hier = {});
 
 }  // namespace nistream::dwcs

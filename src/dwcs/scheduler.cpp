@@ -14,7 +14,7 @@ DwcsScheduler::DwcsScheduler(Config config, CostHook& hook)
       charged_{hook.accounted()},
       comparator_{config.arith, hook},
       repr_{make_repr(config.repr, *this, comparator_, hook,
-                      /*heap_base=*/0x0100'0000)} {}
+                      /*heap_base=*/0x0100'0000, config.hierarchical)} {}
 
 const StreamParams& DwcsScheduler::stream_params(StreamId id) const {
   assert(id < streams_.size());

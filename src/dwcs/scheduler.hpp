@@ -62,6 +62,9 @@ class DwcsScheduler final : public PacketScheduler, private StreamTable {
   struct Config {
     ArithMode arith = ArithMode::kFixedPoint;
     ReprKind repr = ReprKind::kDualHeap;
+    /// Shard count and interconnect-hop cost of the sharded multi-core
+    /// representation; consulted only when repr == ReprKind::kHierarchical.
+    HierarchicalParams hierarchical{};
     DescriptorResidency residency = DescriptorResidency::kPinnedMemory;
     std::size_t ring_capacity = 256;
     /// On an empty->backlogged transition, restart the deadline grid at

@@ -178,6 +178,23 @@ struct RtosParams {
 };
 inline const RtosParams kVxWorks{};
 
+/// Multi-core NI topology (The Distributed Network Processor, PAPERS.md):
+/// N scheduling cores on one board, each with its own CpuModel (private
+/// d-cache and cycle counter), linked by an on-chip interconnect. The
+/// paper's i960 RD is the cores=1 degenerate case — the default, so every
+/// existing single-core experiment is untouched.
+struct InterconnectParams {
+  /// Scheduling cores per NI board. Boards build one CpuModel per core and
+  /// the wind kernel schedules tasks across all of them.
+  int cores = 1;
+  /// Fixed latency of shipping a per-core winner update to the root arbiter
+  /// over the on-chip hop, in cycles of the NI clock. Default 0: decision-
+  /// identity runs charge nothing the single-core model would not (see
+  /// dwcs::HierarchicalParams::hop_cycles, which this value seeds).
+  std::int64_t core_hop_cycles = 0;
+};
+inline constexpr InterconnectParams kSingleCoreNi{};
+
 /// Everything at once; the default machine the experiments construct.
 struct Calibration {
   CpuParams ni_cpu = kI960Rd;
@@ -193,6 +210,7 @@ struct Calibration {
   I2oParams i2o = kI2o;
   HostOsParams host_os = kSolarisX86;
   RtosParams rtos = kVxWorks;
+  InterconnectParams interconnect = kSingleCoreNi;
 };
 
 [[nodiscard]] inline Calibration default_calibration() { return Calibration{}; }

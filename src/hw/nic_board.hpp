@@ -10,6 +10,7 @@
 #include <array>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "fault/board_health.hpp"
 #include "hw/calibration.hpp"
@@ -43,6 +44,11 @@ class NicBoard {
     eth_ports_[1] = ether.add_port(rx);
     disks_[0] = std::make_unique<ScsiDisk>(engine, cal.disk, /*seed=*/1001);
     disks_[1] = std::make_unique<ScsiDisk>(engine, cal.disk, /*seed=*/1002);
+    // Cores beyond the first (cal.interconnect.cores, the multi-core NI
+    // model): identical CPUs, each with its own d-cache and cycle counter.
+    for (int c = 1; c < cal.interconnect.cores; ++c) {
+      extra_cores_.push_back(std::make_unique<CpuModel>(cal.ni_cpu));
+    }
   }
 
   NicBoard(const NicBoard&) = delete;
@@ -53,6 +59,15 @@ class NicBoard {
   [[nodiscard]] PciBus& bus() { return bus_; }
   [[nodiscard]] EthernetSwitch& ether() { return ether_; }
   [[nodiscard]] CpuModel& cpu() { return cpu_; }
+  /// Scheduling cores on this board (>= 1). cpu() is core 0 — every
+  /// single-core consumer keeps working unchanged; the sharded scheduler
+  /// model pins one DWCS shard per core.
+  [[nodiscard]] int num_cores() const {
+    return 1 + static_cast<int>(extra_cores_.size());
+  }
+  [[nodiscard]] CpuModel& core(int i) {
+    return i == 0 ? cpu_ : *extra_cores_.at(static_cast<std::size_t>(i - 1));
+  }
   [[nodiscard]] MemoryPool& memory() { return memory_; }
   [[nodiscard]] HardwareQueue& hwqueue() { return hwqueue_; }
   [[nodiscard]] I2oChannel& i2o() { return i2o_; }
@@ -74,6 +89,7 @@ class NicBoard {
   PciBus& bus_;
   EthernetSwitch& ether_;
   CpuModel cpu_;
+  std::vector<std::unique_ptr<CpuModel>> extra_cores_;  // cores 1..N-1
   MemoryPool memory_;
   HardwareQueue hwqueue_;
   I2oChannel i2o_;

@@ -54,14 +54,18 @@ class Task {
 
 class WindKernel {
  public:
-  /// `cpu` is the board CPU whose clock rate converts cycles to time.
+  /// `cpu` is the board CPU (core 0 on a multi-core board) whose clock rate
+  /// converts cycles to time. `num_cores` (>= 1) is the board's scheduling
+  /// core count — the wind kernel runs one strict-priority ready queue
+  /// across all of them (SMP VxWorks-style), so N per-shard tasks of equal
+  /// priority genuinely execute in parallel on an N-core NI.
   WindKernel(sim::Engine& engine, hw::CpuModel& cpu,
-             const hw::RtosParams& params = hw::kVxWorks)
+             const hw::RtosParams& params = hw::kVxWorks, int num_cores = 1)
       : engine_{engine},
         cpu_{cpu},
         sched_{engine,
                sim::CpuScheduler::Params{
-                   .num_cpus = 1,
+                   .num_cpus = num_cores < 1 ? 1 : num_cores,
                    // VxWorks default: no round-robin time slicing; tasks run
                    // until they block or are preempted by higher priority.
                    // A large quantum models run-to-block.
@@ -84,6 +88,7 @@ class WindKernel {
   [[nodiscard]] sim::Engine& engine() { return engine_; }
   [[nodiscard]] hw::CpuModel& cpu() { return cpu_; }
   [[nodiscard]] sim::CpuScheduler& scheduler() { return sched_; }
+  [[nodiscard]] int num_cores() const { return sched_.num_cpus(); }
   [[nodiscard]] sim::Time tick() const { return tick_; }
   [[nodiscard]] sim::Time ni_cpu_busy() const { return sched_.total_busy(); }
 

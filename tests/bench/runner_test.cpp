@@ -1,12 +1,17 @@
 // The sweep runner's determinism contract: run_cells writes every cell's
 // result into its own pre-assigned slot, so the output array is identical
 // for any --jobs value — thread scheduling affects only wall-clock time.
+// Also pins the provenance-stamp contract: git_rev() resolves at RUN time
+// and always has a machine-checkable shape.
+#include "bench_util.hpp"
 #include "runner.hpp"
 
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <cstdint>
+#include <cstdlib>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -96,6 +101,42 @@ TEST(FlagJobs, ParsesZeroAsOneAndCapsAtBound) {
     char* argv[] = {prog};
     EXPECT_EQ(flag_jobs(1, argv), default_jobs());
   }
+}
+
+// ---------------------------------------------------------------------------
+// git_rev() provenance stamp.
+// ---------------------------------------------------------------------------
+
+TEST(GitRev, FormatCheckerAcceptsExactlyThePromisedShapes) {
+  // The promised shapes: "unknown", or 7-40 lowercase-hex chars with an
+  // optional "-dirty" suffix.
+  EXPECT_TRUE(git_rev_well_formed("unknown"));
+  EXPECT_TRUE(git_rev_well_formed("d4e34fa"));
+  EXPECT_TRUE(git_rev_well_formed("d4e34fa-dirty"));
+  EXPECT_TRUE(git_rev_well_formed(std::string(40, 'a')));
+
+  EXPECT_FALSE(git_rev_well_formed(""));
+  EXPECT_FALSE(git_rev_well_formed("-dirty"));
+  EXPECT_FALSE(git_rev_well_formed("d4e34fa\n"));       // stray newline
+  EXPECT_FALSE(git_rev_well_formed("D4E34FA"));         // uppercase
+  EXPECT_FALSE(git_rev_well_formed("abc123"));          // too short
+  EXPECT_FALSE(git_rev_well_formed(std::string(41, 'a')));
+  EXPECT_FALSE(git_rev_well_formed("d4e34fa-dirty-dirty"));
+}
+
+TEST(GitRev, RuntimeResolutionIsWellFormed) {
+  // Whatever source the fallback chain lands on (env, run-time git describe,
+  // configure-time macro, "unknown"), the stamp must be machine-checkable —
+  // this is what keeps a malformed rev out of the tracked BENCH_*.json files.
+  ::unsetenv("NISTREAM_GIT_REV");
+  const std::string rev = git_rev();
+  EXPECT_TRUE(git_rev_well_formed(rev)) << "git_rev() = \"" << rev << "\"";
+}
+
+TEST(GitRev, EnvironmentOverrideWins) {
+  ::setenv("NISTREAM_GIT_REV", "feedfacefeedface", /*overwrite=*/1);
+  EXPECT_EQ(git_rev(), "feedfacefeedface");
+  ::unsetenv("NISTREAM_GIT_REV");
 }
 
 }  // namespace

@@ -1,13 +1,16 @@
 // Differential representation test — the safety net for the tie-break
 // machinery.
 //
-// All five ReprKinds are driven in lock-step through 1k-round randomized
-// enqueue/schedule workloads against one shared stream table. Every round:
-//   * pick() must return the identical stream across the four
-//     attribute-aware representations (dual-heap, single-heap, sorted-list,
-//     calendar-queue) — they are interchangeable structures under one policy
-//     (§3.1.1), so the dispatched stream sequence must be identical;
-//   * earliest_deadline() must agree across ALL FIVE representations,
+// All ReprKinds are driven in lock-step through 1k-round randomized
+// enqueue/schedule workloads against one shared stream table — including
+// the hierarchical (sharded) representation at 1 shard (the degenerate case
+// that must collapse to dual-heap behavior) and 3 shards (odd count, so the
+// splitmix64 shard hash is exercised off the power-of-two path). Every round:
+//   * pick() must return the identical stream across all attribute-aware
+//     representations (dual-heap, single-heap, sorted-list, calendar-queue,
+//     hierarchical x shards) — they are interchangeable structures under one
+//     policy (§3.1.1), so the dispatched stream sequence must be identical;
+//   * earliest_deadline() must agree across ALL representations,
 //     FCFS included (its earliest-deadline contract is attribute-honest
 //     even though its pick() deliberately ignores the precedence rules).
 //
@@ -47,13 +50,22 @@ struct Harness {
   std::vector<std::unique_ptr<ScheduleRepr>> reprs;
   std::vector<bool> present;
 
+  // FCFS is deliberately LAST: every repr before it is attribute-aware and
+  // must agree on pick(); FCFS only joins the earliest_deadline() check.
   Harness() {
     for (const auto kind :
          {ReprKind::kDualHeap, ReprKind::kSingleHeap, ReprKind::kSortedList,
-          ReprKind::kCalendarQueue, ReprKind::kFcfs}) {
+          ReprKind::kCalendarQueue}) {
       reprs.push_back(
           make_repr(kind, table, cmp, null_cost_hook(), 0x0100'0000));
     }
+    for (const std::uint32_t shards : {1u, 3u}) {
+      reprs.push_back(make_repr(ReprKind::kHierarchical, table, cmp,
+                                null_cost_hook(), 0x0100'0000,
+                                HierarchicalParams{.shards = shards}));
+    }
+    reprs.push_back(
+        make_repr(ReprKind::kFcfs, table, cmp, null_cost_hook(), 0x0100'0000));
   }
 
   void insert(StreamId id) {
@@ -137,9 +149,10 @@ TEST(ReprDifferential, RandomizedLockStep) {
         }
       }
 
-      // Lock-step queries.
+      // Lock-step queries. All reprs but the trailing FCFS are
+      // attribute-aware and must agree on pick().
       std::optional<StreamId> pick0;
-      for (std::size_t k = 0; k < 4; ++k) {  // the four attribute-aware reprs
+      for (std::size_t k = 0; k + 1 < h.reprs.size(); ++k) {
         const auto p = h.reprs[k]->pick();
         if (k == 0) {
           pick0 = p;
@@ -150,7 +163,7 @@ TEST(ReprDifferential, RandomizedLockStep) {
         }
       }
       std::optional<StreamId> ed0;
-      for (std::size_t k = 0; k < h.reprs.size(); ++k) {  // all five
+      for (std::size_t k = 0; k < h.reprs.size(); ++k) {  // all, FCFS too
         const auto e = h.reprs[k]->earliest_deadline();
         if (k == 0) {
           ed0 = e;
@@ -171,7 +184,7 @@ TEST(ReprDifferential, RandomizedLockStep) {
         h.update(*pick0);
       }
     }
-    // The four attribute-aware reprs agreed on every round, so `dispatched`
+    // The attribute-aware reprs agreed on every round, so `dispatched`
     // IS the common dispatch sequence; sanity-check it is non-trivial.
     ASSERT_GT(dispatched.size(), 900u) << "seed " << seed;
   }

@@ -87,11 +87,13 @@ TEST_P(ReprEquivalence, MatchesSingleHeapTrace) {
 INSTANTIATE_TEST_SUITE_P(Kinds, ReprEquivalence,
                          ::testing::Values(ReprKind::kDualHeap,
                                            ReprKind::kSortedList,
-                                           ReprKind::kCalendarQueue),
+                                           ReprKind::kCalendarQueue,
+                                           ReprKind::kHierarchical),
                          [](const auto& param_info) {
                            const std::string n{to_string(param_info.param)};
                            return n == "dual-heap"     ? "dual_heap"
                                   : n == "sorted-list" ? "sorted_list"
+                                  : n == "hierarchical" ? "hierarchical"
                                                        : "calendar_queue";
                          });
 
@@ -123,6 +125,7 @@ TEST(ReprNames, AreStable) {
   EXPECT_STREQ(to_string(ReprKind::kSortedList), "sorted-list");
   EXPECT_STREQ(to_string(ReprKind::kFcfs), "fcfs");
   EXPECT_STREQ(to_string(ReprKind::kCalendarQueue), "calendar-queue");
+  EXPECT_STREQ(to_string(ReprKind::kHierarchical), "hierarchical");
 }
 
 }  // namespace
