@@ -11,6 +11,7 @@
 #include <cstdlib>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace nistream::bench {
 
@@ -57,6 +58,36 @@ inline std::string flag_str(int argc, char** argv, std::string_view name,
     // A longer flag sharing the prefix (--outdir vs --out): not ours.
   }
   return std::string{fallback};
+}
+
+/// Value of `--<name>=<a,b,c>` parsed as comma-separated u64s, or `fallback`
+/// (itself a comma-separated literal) when absent. Empty tokens are skipped;
+/// a malformed token is a hard error, same policy as flag_u64. Shared by the
+/// sweep benches for axis lists (`--shards=1,2,4`, `--sessions=1000,100000`).
+inline std::vector<std::uint64_t> flag_u64_list(int argc, char** argv,
+                                                std::string_view name,
+                                                std::string_view fallback) {
+  const std::string value = flag_str(argc, argv, name, fallback);
+  std::vector<std::uint64_t> out;
+  std::size_t pos = 0;
+  while (pos <= value.size()) {
+    const std::size_t comma = value.find(',', pos);
+    const std::size_t end = comma == std::string::npos ? value.size() : comma;
+    if (end > pos) {
+      const std::string tok = value.substr(pos, end - pos);
+      char* tail = nullptr;
+      const std::uint64_t v = std::strtoull(tok.c_str(), &tail, 0);
+      if (tail == tok.c_str() || *tail != '\0') {
+        std::fprintf(stderr, "bad --%s entry: '%s'\n",
+                     std::string{name}.c_str(), tok.c_str());
+        std::exit(2);
+      }
+      out.push_back(v);
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
 }
 
 /// True when bare `--<name>` appears in argv (a boolean switch).

@@ -457,21 +457,13 @@ int run_identity(const std::vector<std::uint32_t>& shard_list, std::size_t n,
   return ok ? 0 : 1;
 }
 
-/// Parse "1,2,4,8" into shard counts; zero entries clamp to 1.
-std::vector<std::uint32_t> parse_shards(const std::string& s) {
+/// `--shards` via the shared list parser; zero entries clamp to 1 (a 0-shard
+/// hierarchical scheduler is meaningless) and an empty list means 1.
+std::vector<std::uint32_t> shard_flag(int argc, char** argv) {
   std::vector<std::uint32_t> out;
-  std::size_t pos = 0;
-  while (pos < s.size()) {
-    const std::size_t comma = s.find(',', pos);
-    const std::string tok =
-        s.substr(pos, comma == std::string::npos ? std::string::npos
-                                                 : comma - pos);
-    if (!tok.empty()) {
-      const unsigned long v = std::strtoul(tok.c_str(), nullptr, 10);
-      out.push_back(v == 0 ? 1u : static_cast<std::uint32_t>(v));
-    }
-    if (comma == std::string::npos) break;
-    pos = comma + 1;
+  for (const std::uint64_t v :
+       bench::flag_u64_list(argc, argv, "shards", "1,2,4,8,16")) {
+    out.push_back(v == 0 ? 1u : static_cast<std::uint32_t>(v));
   }
   if (out.empty()) out.push_back(1);
   return out;
@@ -483,8 +475,7 @@ int main(int argc, char** argv) {
   const std::uint64_t seed = bench::flag_u64(argc, argv, "seed", 0x5ca1e);
   const unsigned jobs = bench::flag_jobs(argc, argv);
   const bool smoke = bench::flag_present(argc, argv, "smoke");
-  const std::vector<std::uint32_t> shard_list =
-      parse_shards(bench::flag_str(argc, argv, "shards", "1,2,4,8,16"));
+  const std::vector<std::uint32_t> shard_list = shard_flag(argc, argv);
 
   if (bench::flag_present(argc, argv, "identity")) {
     const std::size_t n = static_cast<std::size_t>(

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <set>
 
 #include "hw/ethernet.hpp"
 #include "net/udp.hpp"
@@ -54,6 +55,35 @@ class MpegClient {
     return net_latency_;
   }
 
+  // Session lifecycle hooks. An RTSP-driven client and a synthetic one share
+  // this model: the session plane notifies PAUSE/PLAY/TEARDOWN transitions
+  // so the client can audit the data plane against the control plane —
+  // frames landing while a stream is paused are counted separately (a
+  // handful in flight at the instant of PAUSE is expected; a steady drip
+  // means the server ignored the pause).
+
+  void notify_pause(std::uint64_t stream_id) {
+    if (paused_.insert(stream_id).second) ++pauses_;
+  }
+  void notify_resume(std::uint64_t stream_id) {
+    if (paused_.erase(stream_id) != 0) ++resumes_;
+  }
+  /// Stream over (TEARDOWN or end of media): close out its bandwidth meter.
+  void notify_end(std::uint64_t stream_id, sim::Time at) {
+    paused_.erase(stream_id);
+    const auto it = meters_.find(stream_id);
+    if (it != meters_.end()) it->second->finish(at);
+  }
+
+  [[nodiscard]] bool paused(std::uint64_t stream_id) const {
+    return paused_.contains(stream_id);
+  }
+  [[nodiscard]] std::uint64_t frames_while_paused() const {
+    return frames_while_paused_;
+  }
+  [[nodiscard]] std::uint64_t pauses() const { return pauses_; }
+  [[nodiscard]] std::uint64_t resumes() const { return resumes_; }
+
  private:
   sim::RateMeter& meter(std::uint64_t stream_id) {
     auto it = meters_.find(stream_id);
@@ -68,6 +98,7 @@ class MpegClient {
   }
 
   void receive(const net::Packet& p, sim::Time at) {
+    if (paused_.contains(p.stream_id)) ++frames_while_paused_;
     meter(p.stream_id).record(at, p.bytes);
     ++counts_[p.stream_id];
     ++total_frames_;
@@ -82,6 +113,10 @@ class MpegClient {
   net::UdpEndpoint endpoint_;
   std::map<std::uint64_t, std::unique_ptr<sim::RateMeter>> meters_;
   std::map<std::uint64_t, std::uint64_t> counts_;
+  std::set<std::uint64_t> paused_;
+  std::uint64_t frames_while_paused_ = 0;
+  std::uint64_t pauses_ = 0;
+  std::uint64_t resumes_ = 0;
   std::uint64_t total_frames_ = 0;
   std::uint64_t total_bytes_ = 0;
   sim::RunningStat latency_;

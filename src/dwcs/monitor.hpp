@@ -58,6 +58,7 @@ class WindowViolationMonitor {
   /// Record the outcome of the next consecutive packet of `key`.
   void record(StreamKey key, Outcome o) {
     State& s = states_.at(pack(key));
+    if (s.retired) return;
     const bool lost = o != Outcome::kOnTime;
     s.window.push_back(lost);
     s.losses_in_window += lost;
@@ -94,10 +95,7 @@ class WindowViolationMonitor {
   /// Full window positions this placement has seen (the denominator of
   /// violation_rate); 0 until `y` packets arrived.
   [[nodiscard]] std::uint64_t window_positions(StreamKey key) const {
-    const State& s = states_.at(pack(key));
-    return s.packets >= static_cast<std::uint64_t>(s.constraint.y)
-               ? s.packets - static_cast<std::uint64_t>(s.constraint.y) + 1
-               : 0;
+    return positions_of(states_.at(pack(key)));
   }
   /// Fraction of window positions (per placement) that violated the bound.
   [[nodiscard]] double violation_rate(StreamKey key) const {
@@ -113,6 +111,53 @@ class WindowViolationMonitor {
     return states_.contains(pack(key));
   }
 
+  /// End QoS accounting for a placement while keeping its history in the
+  /// aggregates. The session plane retires a stream when its client tears
+  /// the session down: the frames purged from the ring afterwards were
+  /// abandoned by their own receiver, not missed by the scheduler.
+  void retire(StreamKey key) {
+    if (const auto it = states_.find(pack(key)); it != states_.end()) {
+      it->second.retired = true;
+    }
+  }
+
+  /// Worst per-placement violation rate across every registered placement —
+  /// the "no stream collapsed" headline number of the sweep benches.
+  /// Placements that never filled a window contribute 0.
+  [[nodiscard]] double max_violation_rate() const {
+    double worst = 0.0;
+    for (const auto& [k, s] : states_) {
+      const std::uint64_t windows = positions_of(s);
+      if (windows == 0) continue;
+      const double rate = static_cast<double>(s.violating_windows) /
+                          static_cast<double>(windows);
+      if (rate > worst) worst = rate;
+    }
+    return worst;
+  }
+
+  /// Violating window positions over ALL positions, across every placement —
+  /// the population-level QoS number (max_violation_rate can be pinned at
+  /// 1.0 by a single unlucky four-packet stream).
+  [[nodiscard]] double aggregate_violation_rate() const {
+    std::uint64_t windows = 0;
+    std::uint64_t violating = 0;
+    for (const auto& [k, s] : states_) {
+      windows += positions_of(s);
+      violating += s.violating_windows;
+    }
+    return windows ? static_cast<double>(violating) /
+                         static_cast<double>(windows)
+                   : 0.0;
+  }
+
+  /// Placements with at least one violating window position.
+  [[nodiscard]] std::uint64_t violating_streams() const {
+    std::uint64_t n = 0;
+    for (const auto& [k, s] : states_) n += s.violating_windows > 0;
+    return n;
+  }
+
  private:
   struct State {
     WindowConstraint constraint;
@@ -120,10 +165,17 @@ class WindowViolationMonitor {
     std::int64_t losses_in_window;
     std::uint64_t packets;
     std::uint64_t violating_windows;
+    bool retired = false;
   };
 
   [[nodiscard]] static std::uint64_t pack(StreamKey key) {
     return (static_cast<std::uint64_t>(key.scope) << 32) | key.stream;
+  }
+
+  [[nodiscard]] static std::uint64_t positions_of(const State& s) {
+    return s.packets >= static_cast<std::uint64_t>(s.constraint.y)
+               ? s.packets - static_cast<std::uint64_t>(s.constraint.y) + 1
+               : 0;
   }
 
   std::unordered_map<std::uint64_t, State> states_;

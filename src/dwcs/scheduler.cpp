@@ -141,7 +141,7 @@ void DwcsScheduler::process_late(sim::Time now) {
     StreamState& s = streams_[*sid];
     StreamView& v = views_[*sid];
     if (charged_) hook_->arith_int(Op::kCmp, 1);
-    if (v.next_deadline >= now) break;
+    if (v.next_deadline + config_.lateness_slack >= now) break;
     if (s.params.lossy) {
       // Drop without transmitting — saves the wire bandwidth entirely.
       if (drop_hook_) {
@@ -189,7 +189,10 @@ std::optional<Dispatch> DwcsScheduler::schedule_next(sim::Time now) {
     StreamState& cand = streams_[*sid];
     StreamView& cv = views_[*sid];
     if (charged_) hook_->arith_int(Op::kCmp, 1);
-    if (!cand.params.lossy || cv.next_deadline >= now) break;
+    if (!cand.params.lossy ||
+        cv.next_deadline + config_.lateness_slack >= now) {
+      break;
+    }
     if (drop_hook_) {
       if (const auto head = cand.ring->front_unaccounted()) {
         drop_hook_(*sid, *head);
@@ -219,7 +222,7 @@ std::optional<Dispatch> DwcsScheduler::schedule_next(sim::Time now) {
   d.frame = *head;
   d.deadline = v.next_deadline;
   if (charged_) hook_->arith_int(Op::kCmp, 1);
-  d.late = v.next_deadline < now;
+  d.late = v.next_deadline + config_.lateness_slack < now;
 
   touch_stream_state(s, kServiceStateWords);
   if (d.late) {

@@ -81,6 +81,14 @@ class DwcsScheduler final : public PacketScheduler, private StreamTable {
     /// chain, instruction fetch, kernel entry/exit on the embedded build) —
     /// calibrated so the 66 MHz i960 decision path lands on Table 1/2.
     std::int64_t decision_overhead_cycles = 4100;
+    /// Scheduler-granularity allowance for late-packet processing: a head no
+    /// more than this far past its deadline is still serviced (and counted
+    /// on time) instead of dropped/penalized. The paced dispatch loop
+    /// serializes same-instant deadlines at the per-frame CPU cost, so with
+    /// zero slack a stream whose grid lands inside another stream's dispatch
+    /// burst loses its head every period. Zero preserves the strict paper
+    /// semantics; the session plane sets a fraction of the frame period.
+    sim::Time lateness_slack = sim::Time::zero();
   };
 
   explicit DwcsScheduler(Config config, CostHook& hook = null_cost_hook());

@@ -9,12 +9,28 @@
 //
 // Scope deliberately matches what an embedded NI stack of the era shipped:
 // fixed window, cumulative ACK per received segment, go-back-N retransmit on
-// timeout. No congestion control, no SACK, no connection teardown handshake.
+// timeout. No congestion control, no SACK. Two things the RTSP session plane
+// forced onto that base:
+//
+//  * Per-peer sequence spaces. The original receiver kept ONE next-expected
+//    counter for every sender that addressed it, so a second client talking
+//    to the same control port aliased the first one's sequence numbers and
+//    both stalled (each saw the other's segments as "out of order"). A
+//    receiver now demuxes on the sending port — one in-order space per peer,
+//    which is what a per-connection transport means.
+//  * FIN teardown. A sender's close() queues a FIN that consumes a sequence
+//    number and is retransmitted like data; the receiver delivers it in
+//    order, marks the peer closed, and re-ACKs retransmitted FINs without
+//    re-firing the close callback. Because each direction is a separate
+//    sender/receiver pair, one side can close while the other keeps
+//    flowing — the half-open states the session reaper exists for.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 
 #include "hw/ethernet.hpp"
@@ -26,16 +42,31 @@ namespace nistream::net {
 /// Wire format shared by both ends.
 struct TcpLiteSegment {
   bool is_ack = false;
-  std::uint64_t seq = 0;      // data: segment sequence; ack: next expected
+  bool is_fin = false;        // connection close; consumes a sequence number
+  std::uint64_t seq = 0;      // data/fin: segment sequence; ack: next expected
   Packet payload{};           // data segments only
 };
 
 class TcpLiteReceiver {
  public:
   using Deliver = std::function<void(const Packet&, sim::Time at)>;
+  /// Peer-aware delivery: `peer_port` is the sending TcpLiteSender's port —
+  /// the connection identity a multi-client service (the RTSP front door)
+  /// keys its per-connection state on.
+  using DeliverFrom =
+      std::function<void(const Packet&, int peer_port, sim::Time at)>;
+  using PeerClose = std::function<void(int peer_port, sim::Time at)>;
 
   TcpLiteReceiver(sim::Engine& engine, hw::EthernetSwitch& ether,
                   sim::Time stack_cost, Deliver deliver)
+      : TcpLiteReceiver{engine, ether, stack_cost,
+                        deliver ? DeliverFrom{[d = std::move(deliver)](
+                                                  const Packet& p, int,
+                                                  sim::Time at) { d(p, at); }}
+                                : DeliverFrom{}} {}
+
+  TcpLiteReceiver(sim::Engine& engine, hw::EthernetSwitch& ether,
+                  sim::Time stack_cost, DeliverFrom deliver)
       : engine_{engine}, ether_{ether}, stack_cost_{stack_cost},
         deliver_{std::move(deliver)} {
     port_ = ether.add_port([this](const hw::EthFrame& f) { on_frame(f); });
@@ -44,29 +75,57 @@ class TcpLiteReceiver {
   TcpLiteReceiver(const TcpLiteReceiver&) = delete;
   TcpLiteReceiver& operator=(const TcpLiteReceiver&) = delete;
 
+  /// Fires once per peer, when its FIN is delivered in order.
+  void set_on_peer_close(PeerClose cb) { on_peer_close_ = std::move(cb); }
+
   [[nodiscard]] int port() const { return port_; }
-  [[nodiscard]] std::uint64_t delivered() const { return next_expected_; }
+  /// Total in-order data deliveries across all peers (FINs not counted).
+  [[nodiscard]] std::uint64_t delivered() const { return delivered_; }
   [[nodiscard]] std::uint64_t discarded_out_of_order() const {
     return discarded_;
+  }
+  [[nodiscard]] std::size_t peer_count() const { return peers_.size(); }
+  [[nodiscard]] std::uint64_t peers_closed() const { return peers_closed_; }
+  [[nodiscard]] bool peer_closed(int peer_port) const {
+    const auto it = peers_.find(peer_port);
+    return it != peers_.end() && it->second.closed;
   }
 
  private:
   static constexpr std::uint32_t kAckBytes = 40;
+
+  struct Peer {
+    std::uint64_t next_expected = 0;
+    bool closed = false;
+  };
 
   void on_frame(const hw::EthFrame& f) {
     auto seg = std::static_pointer_cast<TcpLiteSegment>(f.payload);
     if (!seg || seg->is_ack) return;
     const int reply_to = f.src_port;
     engine_.schedule_in(stack_cost_, [this, seg, reply_to] {
-      if (seg->seq == next_expected_) {
-        ++next_expected_;
-        if (deliver_) deliver_(seg->payload, engine_.now());
-      } else if (seg->seq > next_expected_) {
-        ++discarded_;  // go-back-N: out-of-order segments are not buffered
-      }                // duplicates below next_expected_ are silently re-ACKed
+      Peer& peer = peers_[reply_to];
+      if (seg->seq == peer.next_expected && !peer.closed) {
+        ++peer.next_expected;
+        if (seg->is_fin) {
+          peer.closed = true;
+          ++peers_closed_;
+          if (on_peer_close_) on_peer_close_(reply_to, engine_.now());
+        } else {
+          ++delivered_;
+          if (deliver_) deliver_(seg->payload, reply_to, engine_.now());
+        }
+      } else if (seg->seq >= peer.next_expected) {
+        // Go-back-N: out-of-order segments are not buffered. This covers the
+        // FIN-before-data race too — a FIN arriving ahead of missing data is
+        // discarded, NOT acted on, and the close happens only when the
+        // retransmitted prefix delivers it in order.
+        ++discarded_;
+      }  // duplicates below next_expected (incl. a retransmitted FIN after
+         // close) are silently re-ACKed
       auto ack = std::make_shared<TcpLiteSegment>();
       ack->is_ack = true;
-      ack->seq = next_expected_;
+      ack->seq = peer.next_expected;
       ether_.send(port_, reply_to,
                   hw::EthFrame{.bytes = kAckBytes, .payload = std::move(ack)});
     });
@@ -75,22 +134,33 @@ class TcpLiteReceiver {
   sim::Engine& engine_;
   hw::EthernetSwitch& ether_;
   sim::Time stack_cost_;
-  Deliver deliver_;
+  DeliverFrom deliver_;
+  PeerClose on_peer_close_;
   int port_ = -1;
-  std::uint64_t next_expected_ = 0;
+  std::map<int, Peer> peers_;  // one sequence space per sending port
+  std::uint64_t delivered_ = 0;
   std::uint64_t discarded_ = 0;
+  std::uint64_t peers_closed_ = 0;
+};
+
+struct TcpLiteSenderParams {
+  std::size_t window = 8;             // segments in flight
+  sim::Time rto = sim::Time::ms(20);  // retransmission timeout
+  /// Consecutive timeout rounds without ACK progress before the sender
+  /// gives up (drops its queue and fires on_abort). 0 = retry forever,
+  /// the historical behavior; services talking to clients that may vanish
+  /// mid-connection set a bound so a dead peer cannot pin a timer forever.
+  unsigned max_retx_rounds = 0;
 };
 
 class TcpLiteSender {
  public:
-  struct Params {
-    std::size_t window = 8;               // segments in flight
-    sim::Time rto = sim::Time::ms(20);    // retransmission timeout
-  };
+  using Params = TcpLiteSenderParams;
+
+  using Abort = std::function<void(sim::Time at)>;
 
   TcpLiteSender(sim::Engine& engine, hw::EthernetSwitch& ether,
-                sim::Time stack_cost, int dst_port,
-                Params params = Params{.window = 8, .rto = sim::Time::ms(20)})
+                sim::Time stack_cost, int dst_port, Params params = Params{})
       : engine_{engine}, ether_{ether}, stack_cost_{stack_cost},
         dst_port_{dst_port}, params_{params} {
     port_ = ether.add_port([this](const hw::EthFrame& f) { on_frame(f); });
@@ -102,24 +172,49 @@ class TcpLiteSender {
   [[nodiscard]] int port() const { return port_; }
 
   /// Queue a packet for reliable delivery. Returns its assigned sequence.
+  /// Not legal after close() — the FIN already holds the last sequence.
   std::uint64_t send(Packet p) {
+    assert(!closing_ && "TcpLiteSender::send after close()");
     const std::uint64_t seq = next_seq_++;
-    queue_.push_back(Entry{seq, std::move(p)});
+    queue_.push_back(Entry{seq, std::move(p), /*fin=*/false});
     pump();
     return seq;
   }
 
+  /// Queue the FIN. Idempotent; returns false if already closing.
+  bool close() {
+    if (closing_) return false;
+    closing_ = true;
+    queue_.push_back(Entry{next_seq_++, Packet{}, /*fin=*/true});
+    pump();
+    return true;
+  }
+
+  /// Notified when max_retx_rounds expires and the sender abandons the
+  /// connection (queued segments are dropped, the timer stops).
+  void set_on_abort(Abort cb) { on_abort_ = std::move(cb); }
+
   [[nodiscard]] std::uint64_t acked() const { return base_; }
   [[nodiscard]] std::uint64_t retransmissions() const { return retransmissions_; }
   [[nodiscard]] bool idle() const { return queue_.empty(); }
+  [[nodiscard]] bool closing() const { return closing_; }
+  /// True once the peer acknowledged the FIN (clean close complete).
+  [[nodiscard]] bool fin_acked() const {
+    return closing_ && !aborted_ && queue_.empty();
+  }
+  [[nodiscard]] bool aborted() const { return aborted_; }
 
  private:
   struct Entry {
     std::uint64_t seq;
     Packet packet;
+    bool fin;
   };
 
+  static constexpr std::uint32_t kFinBytes = 40;
+
   void pump() {
+    if (aborted_) return;
     // Transmit every queued segment inside the window.
     for (auto& e : queue_) {
       if (e.seq >= base_ + params_.window) break;
@@ -133,12 +228,15 @@ class TcpLiteSender {
   void transmit(const Entry& e) {
     auto seg = std::make_shared<TcpLiteSegment>();
     seg->seq = e.seq;
+    seg->is_fin = e.fin;
     seg->payload = e.packet;
     engine_.schedule_in(stack_cost_, [this, seg] {
+      const std::uint32_t bytes =
+          seg->is_fin ? kFinBytes
+                      : seg->payload.bytes + UdpEndpoint::kUdpIpHeaderBytes + 12;
       ether_.send(port_, dst_port_,
-                  hw::EthFrame{.bytes = seg->payload.bytes +
-                                        UdpEndpoint::kUdpIpHeaderBytes + 12,
-                               .tag = seg->seq, .payload = seg});
+                  hw::EthFrame{.bytes = bytes, .tag = seg->seq,
+                               .payload = seg});
     });
   }
 
@@ -146,9 +244,10 @@ class TcpLiteSender {
     auto seg = std::static_pointer_cast<TcpLiteSegment>(f.payload);
     if (!seg || !seg->is_ack) return;
     engine_.schedule_in(stack_cost_, [this, ack = seg->seq] {
-      if (ack <= base_) return;  // stale
+      if (aborted_ || ack <= base_) return;  // stale
       while (!queue_.empty() && queue_.front().seq < ack) queue_.pop_front();
       base_ = ack;
+      retx_rounds_ = 0;  // progress resets the give-up counter
       timer_.cancel();
       pump();
     });
@@ -160,6 +259,13 @@ class TcpLiteSender {
   }
 
   void on_timeout() {
+    if (params_.max_retx_rounds != 0 &&
+        ++retx_rounds_ > params_.max_retx_rounds) {
+      aborted_ = true;
+      queue_.clear();
+      if (on_abort_) on_abort_(engine_.now());
+      return;
+    }
     // Go-back-N: retransmit the whole window from base_.
     for (auto& e : queue_) {
       if (e.seq >= base_ + params_.window) break;
@@ -180,6 +286,10 @@ class TcpLiteSender {
   std::uint64_t base_ = 0;         // lowest unacked seq
   std::uint64_t inflight_hi_ = 0;  // first never-transmitted seq
   std::uint64_t retransmissions_ = 0;
+  unsigned retx_rounds_ = 0;       // consecutive timeouts since last progress
+  bool closing_ = false;
+  bool aborted_ = false;
+  Abort on_abort_;
   sim::EventHandle timer_;
 };
 

@@ -43,6 +43,14 @@ struct Pacing {
   int burst_frames = 0;                // frames exempt from the gap at start
   sim::Time gap = sim::Time::zero();   // zero = unpaced
   Where where = Where::kBeforeFrame;
+  /// Grid pacing: frame k targets `anchor + k * gap` (absolute grid) instead
+  /// of `gap` after the previous frame. Gap-relative pacing drifts later by
+  /// the per-frame stage time every period; against a deadline scheduler
+  /// that advances exactly one period per departure, that drift eats the
+  /// whole deadline margin on long streams. After a stall (PumpGate pause,
+  /// enqueue backoff) the anchor slides forward rather than bursting to
+  /// catch up.
+  bool grid = false;
 };
 
 /// Fills in the next frame to push; returns false when the source is dry.
@@ -106,30 +114,98 @@ class FramePath {
   std::vector<std::unique_ptr<Stage>> stages_;
 };
 
+/// External lifecycle control for a running pump: PAUSE parks the pumping
+/// coroutine at the next frame boundary, RESUME wakes it, STOP makes it
+/// return early (stats.finished still set, so a stopped pump reports
+/// truthfully). Built for the RTSP session plane — PAUSE/PLAY/TEARDOWN map
+/// onto pause()/resume()/stop() — but any long-lived producer can use one.
+/// Whole frames are never cut: a pause lands between frames, never inside a
+/// stage.
+class PumpGate {
+ public:
+  explicit PumpGate(sim::Engine& engine) : cond_{engine} {}
+
+  void pause() { paused_ = true; }
+
+  void resume() {
+    if (!paused_) return;
+    paused_ = false;
+    cond_.signal();
+  }
+
+  void stop() {
+    stopped_ = true;
+    cond_.signal();
+  }
+
+  [[nodiscard]] bool paused() const { return paused_; }
+  [[nodiscard]] bool stopped() const { return stopped_; }
+
+  /// Awaited by the pump while paused; signalled by resume()/stop().
+  [[nodiscard]] auto wait() { return cond_.wait(); }
+
+ private:
+  sim::Condition cond_;
+  bool paused_ = false;
+  bool stopped_ = false;
+};
+
 /// Pump `source` through `path` until dry, applying `pacing` and keeping
 /// `stats` current after every frame (counters update incrementally, so a
 /// pump interrupted by a fault still reports truthfully). Optional
 /// `on_frame` observes each completed frame — e.g. to feed a TimeSeries.
+/// Optional `gate` gives the owner pause/resume/stop control at frame
+/// boundaries; it must outlive the pump.
 inline sim::Coro pump(FramePath& path, FrameSource source, Pacing pacing,
                       PathStats& stats,
-                      std::function<void(const StagedFrame&)> on_frame = {}) {
+                      std::function<void(const StagedFrame&)> on_frame = {},
+                      PumpGate* gate = nullptr) {
   sim::Engine& engine = path.engine();
   if (stats.stages.size() != path.stage_count()) path.bind(stats);
+  sim::Time grid_anchor;
+  bool grid_anchored = false;
+  // Wait until the grid slot for frame `k`; if the slot already passed (a
+  // pause or a backoff stalled the pump), slide the anchor so the stream
+  // resumes at rate from now instead of bursting its backlog.
+  const auto grid_wait = [&](std::uint64_t k) -> sim::Coro {
+    const auto target = grid_anchor + pacing.gap * static_cast<std::int64_t>(k);
+    if (target > engine.now()) {
+      co_await sim::Delay{engine, target - engine.now()};
+    } else {
+      grid_anchor = engine.now() - pacing.gap * static_cast<std::int64_t>(k);
+    }
+  };
   for (std::uint64_t seq = 0;; ++seq) {
+    if (gate) {
+      while (gate->paused() && !gate->stopped()) co_await gate->wait();
+      if (gate->stopped()) break;
+    }
     StagedFrame frame;
     frame.seq = seq;
     if (!source(seq, frame)) break;
+    if (pacing.grid && !grid_anchored) {
+      grid_anchor = engine.now();
+      grid_anchored = true;
+    }
     const bool paced = pacing.gap > sim::Time::zero() &&
                        seq >= static_cast<std::uint64_t>(pacing.burst_frames);
     if (paced && pacing.where == Pacing::Where::kBeforeFrame) {
-      co_await sim::Delay{engine, pacing.gap};
+      if (pacing.grid) {
+        co_await grid_wait(seq);
+      } else {
+        co_await sim::Delay{engine, pacing.gap};
+      }
     }
     co_await path.run_frame(frame, &stats);
     ++stats.frames_produced;
     stats.retries += frame.enqueue_retries;
     if (on_frame) on_frame(frame);
     if (paced && pacing.where == Pacing::Where::kAfterFrame) {
-      co_await sim::Delay{engine, pacing.gap};
+      if (pacing.grid) {
+        co_await grid_wait(seq + 1);
+      } else {
+        co_await sim::Delay{engine, pacing.gap};
+      }
     }
   }
   stats.finished = true;

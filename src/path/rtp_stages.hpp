@@ -1,0 +1,130 @@
+// RTP/RTCP stages for the session control plane (src/session): the same
+// composable Stage shape as stages.hpp, so an RTSP-driven stream is just an
+// existing Path A/B/C with an RTP tail spliced in before the scheduler ring.
+//
+//  * RtpPacketizeStage charges the CPU for building the RTP header (sequence
+//    number, 90 kHz media timestamp, SSRC) and grows the frame by the header
+//    bytes — the wire then carries RTP-framed media, and the DWCS admission
+//    request at SETUP accounts those bytes (frame_bytes + kRtpHeaderBytes).
+//  * RtcpReportStage emits periodic RTCP sender reports (RFC 3550 §6.4.1) on
+//    a side UDP port: cumulative packet/octet counts snapshotted from the
+//    shared RtpState. Reports ride the frame clock — checked as each frame
+//    passes, sent when the interval has elapsed — which is how a
+//    sender-driven report timer behaves on a paced stream.
+//
+// Both stages share one RtpState per session, owned by the session (the
+// stages only borrow it), so PAUSE/PLAY across pump restarts keeps the
+// sequence/timestamp spaces continuous.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "net/udp.hpp"
+#include "path/staged_frame.hpp"
+#include "path/stages.hpp"
+#include "sim/coro.hpp"
+#include "sim/engine.hpp"
+
+namespace nistream::path {
+
+/// RTP fixed header (RFC 3550 §5.1): V/P/X/CC/M/PT + seq + timestamp + SSRC.
+inline constexpr std::uint32_t kRtpHeaderBytes = 12;
+/// RTCP sender report: 8-byte common header + 20-byte sender info block.
+inline constexpr std::uint32_t kRtcpSenderReportBytes = 28;
+/// 90 kHz media clock at the paper's 30 frames/sec.
+inline constexpr std::uint32_t kRtpTicksPerFrame = 3000;
+
+/// Per-session RTP sender state, shared by the packetize and report stages
+/// and read by the session plane for teardown bookkeeping.
+struct RtpState {
+  std::uint32_t ssrc = 0;
+  std::uint16_t seq = 0;            // wraps, as the 16-bit wire field does
+  std::uint32_t timestamp = 0;      // 90 kHz media clock
+  std::uint64_t packets = 0;        // cumulative, for sender reports
+  std::uint64_t octets = 0;         // payload octets, headers excluded
+  std::uint64_t reports = 0;        // sender reports emitted
+  sim::Time last_report = sim::Time::zero();
+};
+
+/// Snapshot carried in an RTCP sender-report packet body.
+struct RtcpSenderReport {
+  std::uint32_t ssrc = 0;
+  std::uint32_t rtp_timestamp = 0;
+  std::uint64_t packet_count = 0;
+  std::uint64_t octet_count = 0;
+  sim::Time sent_at = sim::Time::zero();
+};
+
+/// Build the RTP header on the NI CPU: charge the per-packet cycles, advance
+/// the sequence/timestamp spaces, and grow the frame by the header bytes so
+/// every downstream hop (ring, wire, bandwidth meters) sees RTP-framed
+/// sizes. CpuCtx is rtos::Task or hostos::Process, as in SegmentStage.
+template <typename CpuCtx>
+class RtpPacketizeStage final : public Stage {
+ public:
+  RtpPacketizeStage(CpuCtx& ctx, RtpState& state,
+                    std::int64_t cycles_per_packet,
+                    std::uint32_t ticks_per_frame = kRtpTicksPerFrame)
+      : ctx_{ctx}, state_{state}, cycles_{cycles_per_packet},
+        ticks_per_frame_{ticks_per_frame} {}
+  [[nodiscard]] const char* name() const override { return "rtp"; }
+  sim::Coro apply(StagedFrame& f) override {
+    co_await ctx_.consume_cycles(cycles_);
+    state_.seq = static_cast<std::uint16_t>(state_.seq + 1);
+    state_.timestamp += ticks_per_frame_;
+    state_.octets += f.bytes;
+    ++state_.packets;
+    f.bytes += kRtpHeaderBytes;
+  }
+
+ private:
+  CpuCtx& ctx_;
+  RtpState& state_;
+  std::int64_t cycles_;
+  std::uint32_t ticks_per_frame_;
+};
+
+/// Emit an RTCP sender report when `interval` has elapsed since the last
+/// one. Piggybacks on the frame clock (zero cost when not due), sends on its
+/// own endpoint/port pair — RTCP always travels beside RTP, not in-band.
+class RtcpReportStage final : public Stage {
+ public:
+  RtcpReportStage(sim::Engine& engine, net::UdpEndpoint& endpoint,
+                  int dest_port, RtpState& state, sim::Time interval)
+      : engine_{engine}, endpoint_{endpoint}, dest_port_{dest_port},
+        state_{state}, interval_{interval} {}
+  [[nodiscard]] const char* name() const override { return "rtcp"; }
+  sim::Coro apply(StagedFrame& f) override {
+    const sim::Time now = engine_.now();
+    if (state_.reports != 0 && now - state_.last_report < interval_) {
+      co_return;
+    }
+    auto report = std::make_shared<RtcpSenderReport>();
+    report->ssrc = state_.ssrc;
+    report->rtp_timestamp = state_.timestamp;
+    report->packet_count = state_.packets;
+    report->octet_count = state_.octets;
+    report->sent_at = now;
+    net::Packet pkt;
+    pkt.stream_id = f.stream;
+    pkt.seq = state_.reports;
+    pkt.bytes = kRtcpSenderReportBytes;
+    pkt.enqueued_at = now;
+    pkt.dispatched_at = now;
+    pkt.body = std::move(report);
+    endpoint_.send(dest_port_, pkt);
+    ++state_.reports;
+    state_.last_report = now;
+    co_return;
+  }
+
+ private:
+  sim::Engine& engine_;
+  net::UdpEndpoint& endpoint_;
+  int dest_port_;
+  RtpState& state_;
+  sim::Time interval_;
+};
+
+}  // namespace nistream::path

@@ -1,0 +1,481 @@
+// session::RtspFrontDoor — the NI-resident session control plane.
+//
+// One control task parses RTSP requests off a TcpLite port and drives
+// per-session state machines; admitted sessions get a data-plane pump (an
+// RTP-tailed synthetic producer into the DWCS ring) on a pooled wind task.
+// The layering mirrors the paper's thesis: control traffic terminates on
+// the NI, competes with the data plane for the same i960 cycles
+// (ctl_priority vs pump_priority vs the dispatch task), and never touches
+// the host.
+//
+// Invariants the churn bench asserts:
+//  * Admission is decided at SETUP, and only there. PLAY/PAUSE/TEARDOWN
+//    never consult the AdmissionController, so a session that got its 200
+//    can always start — post_play_admission_violations counts any pump
+//    start that finds no reservation, and must stay 0.
+//  * Every reservation is released exactly once, whatever the exit path:
+//    TEARDOWN, end of media followed by idle reaping, control-connection
+//    FIN, or the reaper collecting a half-open session.
+//  * Session ids are incarnation-prefixed; ids minted by an earlier
+//    incarnation answer 454, never touch another session's state.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dvcm/stream_service.hpp"
+#include "dwcs/admission.hpp"
+#include "dwcs/monitor.hpp"
+#include "hw/ethernet.hpp"
+#include "net/tcplite.hpp"
+#include "net/udp.hpp"
+#include "path/frame_path.hpp"
+#include "path/rtp_stages.hpp"
+#include "rtos/wind.hpp"
+#include "session/paths.hpp"
+#include "session/rtsp.hpp"
+#include "session/session.hpp"
+#include "sim/coro.hpp"
+#include "sim/engine.hpp"
+
+namespace nistream::session {
+
+class RtspFrontDoor {
+ public:
+  struct Config {
+    std::uint32_t incarnation = 1;
+    /// wind priorities (0 most urgent). Control runs below the pumps and
+    /// the dispatch task: under load, accepted streams keep their deadlines
+    /// while new SETUPs queue — the paper's "data plane first" ordering.
+    int ctl_priority = 140;
+    int pump_priority = 120;
+    /// Request-processing CPU: a fixed per-message cost plus a per-byte
+    /// parse cost, charged to the control task.
+    std::int64_t request_cycles = 1500;
+    std::int64_t parse_cycles_per_byte = 4;
+    RtpTailParams rtp{};
+    /// Sessions not in kPlaying and silent this long are reaped (their
+    /// reservation released) — half-open teardowns must not leak admission.
+    sim::Time idle_timeout = sim::Time::sec(2);
+    sim::Time reap_interval = sim::Time::ms(250);
+    /// Response channel back to each client: bounded retransmit so a
+    /// vanished client cannot pin a response sender forever.
+    net::TcpLiteSenderParams response_params{
+        .window = 8, .rto = sim::Time::ms(20), .max_retx_rounds = 8};
+  };
+
+  struct Stats {
+    std::uint64_t requests = 0;
+    std::uint64_t bad_requests = 0;       // 400s
+    std::uint64_t setups_ok = 0;
+    std::uint64_t rejected_453 = 0;       // admission denials
+    std::uint64_t plays = 0;              // cold PLAY (pump started)
+    std::uint64_t resumes = 0;            // PLAY on a paused session
+    std::uint64_t pauses = 0;
+    std::uint64_t teardowns = 0;
+    std::uint64_t stale_454 = 0;
+    std::uint64_t bad_state_455 = 0;
+    std::uint64_t reaped_idle = 0;        // sessions the reaper collected
+    std::uint64_t conn_closed = 0;        // sessions closed by control FIN
+    std::uint64_t eos = 0;                // pumps that ran the media dry
+    std::uint64_t frames_pumped = 0;
+    /// Pump starts that found no SETUP-time reservation. Structurally zero:
+    /// the bench's acceptance gate.
+    std::uint64_t post_play_admission_violations = 0;
+  };
+
+  RtspFrontDoor(sim::Engine& engine, hw::EthernetSwitch& ether,
+                rtos::WindKernel& kernel, dvcm::StreamService& service,
+                net::UdpEndpoint& rtp_out,
+                dwcs::AdmissionController& admission,
+                dwcs::WindowViolationMonitor* monitor, Config config)
+      : engine_{engine}, ether_{ether}, kernel_{kernel}, service_{service},
+        rtp_out_{rtp_out}, admission_{admission}, monitor_{monitor},
+        config_{config}, inbox_{engine},
+        ctl_rx_{engine, ether, net::kNiStackCost,
+                net::TcpLiteReceiver::DeliverFrom{
+                    [this](const net::Packet& p, int peer, sim::Time at) {
+                      on_ctl_bytes(p, peer, at);
+                    }}},
+        ctl_task_{kernel.spawn("rtsp-ctl", config.ctl_priority)} {
+    ctl_rx_.set_on_peer_close(
+        [this](int peer, sim::Time) { on_conn_close(peer); });
+    control_loop().detach();
+    reaper().detach();
+  }
+
+  RtspFrontDoor(const RtspFrontDoor&) = delete;
+  RtspFrontDoor& operator=(const RtspFrontDoor&) = delete;
+
+  /// The TcpLite port clients SETUP against.
+  [[nodiscard]] int control_port() const { return ctl_rx_.port(); }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t live_sessions() const { return sessions_.size(); }
+  [[nodiscard]] std::size_t live_pumps() const { return pumps_.size(); }
+  [[nodiscard]] std::uint32_t incarnation() const {
+    return config_.incarnation;
+  }
+  [[nodiscard]] const net::TcpLiteReceiver& control_rx() const {
+    return ctl_rx_;
+  }
+
+ private:
+  /// One control connection: reassembly buffer, where responses go, and the
+  /// sessions it owns (so a FIN tears them all down).
+  struct Connection {
+    MessageBuffer buf;
+    int reply_port = -1;
+    std::unique_ptr<net::TcpLiteSender> tx;
+    std::vector<std::uint64_t> sessions;
+  };
+
+  /// A live pump: the session path, its gate, and the RTP state that must
+  /// survive PAUSE/PLAY. Heap-allocated and keyed by pump_id because the
+  /// pump coroutine holds pointers into it across suspensions.
+  struct PumpContext {
+    path::FramePath path;
+    path::PathStats stats;
+    path::PumpGate gate;
+    path::RtpState rtp;
+    rtos::Task* task = nullptr;
+    explicit PumpContext(sim::Engine& engine)
+        : path{engine}, gate{engine} {}
+  };
+
+  struct Pending {
+    int peer;
+    std::string text;
+  };
+
+  void on_ctl_bytes(const net::Packet& p, int peer, sim::Time) {
+    // Control bytes ride in the packet body as a string chunk; bytes-on-wire
+    // charging already happened in TcpLite. Reassemble per connection, then
+    // hand complete messages to the control task.
+    Connection& conn = conns_[peer];
+    if (const auto* chunk =
+            static_cast<const std::string*>(p.body.get())) {
+      conn.buf.append(*chunk);
+    }
+    while (auto msg = conn.buf.next()) {
+      inbox_.send(Pending{peer, std::move(*msg)});
+    }
+  }
+
+  void on_conn_close(int peer) {
+    const auto it = conns_.find(peer);
+    if (it == conns_.end()) return;
+    // Close every session the connection owns — the client FIN'd without
+    // TEARDOWN (or after it; then the list is already empty).
+    const std::vector<std::uint64_t> owned = std::move(it->second.sessions);
+    for (const std::uint64_t sid : owned) {
+      if (sessions_.contains(sid)) {
+        close_session(sid);
+        ++stats_.conn_closed;
+      }
+    }
+    conns_.erase(peer);
+  }
+
+  sim::Coro control_loop() {
+    for (;;) {
+      Pending p = co_await inbox_.receive();
+      ++stats_.requests;
+      co_await ctl_task_.consume_cycles(
+          config_.request_cycles +
+          config_.parse_cycles_per_byte *
+              static_cast<std::int64_t>(p.text.size()));
+      // Learn the response destination even from requests that won't parse:
+      // the 400 still has to reach the client.
+      if (const auto rp = find_reply_port(p.text)) {
+        conns_[p.peer].reply_port = *rp;
+      }
+      const auto req = parse_request(p.text);
+      if (!req) {
+        ++stats_.bad_requests;
+        respond(p.peer, RtspResponse{.status = 400});
+        continue;
+      }
+      handle(p.peer, *req);
+    }
+  }
+
+  void handle(int peer, const RtspRequest& req) {
+    switch (req.method) {
+      case Method::kSetup: return handle_setup(peer, req);
+      case Method::kPlay: return handle_play(peer, req);
+      case Method::kPause: return handle_pause(peer, req);
+      case Method::kTeardown: return handle_teardown(peer, req);
+      case Method::kUnknown: break;
+    }
+    ++stats_.bad_requests;
+    respond(peer, RtspResponse{.status = 400, .cseq = req.cseq});
+  }
+
+  void handle_setup(int peer, const RtspRequest& req) {
+    // RTP framing rides every dispatched packet, so the reservation must
+    // cover it — this is the one place control and admission meet.
+    const dwcs::AdmissionController::Request adm{
+        .tolerance = req.tolerance,
+        .period = req.period,
+        .mean_frame_bytes = req.frame_bytes + path::kRtpHeaderBytes};
+    if (!admission_.admit(adm)) {
+      ++stats_.rejected_453;
+      respond(peer, RtspResponse{.status = 453, .cseq = req.cseq});
+      return;
+    }
+    const std::uint64_t sid =
+        make_session_id(config_.incarnation, ++session_counter_);
+    Session s;
+    s.id = sid;
+    s.ctl_peer = peer;
+    s.adm = adm;
+    s.rtp_port = req.rtp_port;
+    s.rtcp_port = req.rtcp_port;
+    s.frame_bytes = req.frame_bytes;
+    s.period = req.period;
+    s.frames = req.frames;
+    s.last_activity = engine_.now();
+    s.stream = service_.create_stream(
+        dwcs::StreamParams{
+            .tolerance = req.tolerance, .period = req.period, .lossy = true},
+        req.rtp_port);
+    if (monitor_ != nullptr) {
+      monitor_->add_stream({0, s.stream}, req.tolerance);
+    }
+    conns_[peer].sessions.push_back(sid);
+    sessions_.emplace(sid, s);
+    ++stats_.setups_ok;
+    respond(peer, RtspResponse{.status = 200,
+                               .cseq = req.cseq,
+                               .session_id = sid,
+                               .stream = s.stream,
+                               .has_stream = true});
+  }
+
+  void handle_play(int peer, const RtspRequest& req) {
+    Session* s = find(req.session_id);
+    if (s == nullptr) return stale(peer, req);
+    s->last_activity = engine_.now();
+    if (s->state == SessionState::kPlaying) {
+      ++stats_.bad_state_455;
+      respond(peer, RtspResponse{
+                        .status = 455, .cseq = req.cseq,
+                        .session_id = s->id});
+      return;
+    }
+    if (s->paused && s->pump_id != 0) {
+      // Resume the parked pump; sequence/timestamp continue where they were.
+      pumps_.at(s->pump_id)->gate.resume();
+      s->paused = false;
+      s->state = SessionState::kPlaying;
+      ++stats_.resumes;
+    } else {
+      start_pump(*s);
+      ++stats_.plays;
+    }
+    respond(peer, RtspResponse{
+                      .status = 200, .cseq = req.cseq, .session_id = s->id});
+  }
+
+  void handle_pause(int peer, const RtspRequest& req) {
+    Session* s = find(req.session_id);
+    if (s == nullptr) return stale(peer, req);
+    s->last_activity = engine_.now();
+    if (s->state != SessionState::kPlaying || s->pump_id == 0) {
+      // PAUSE on a Ready session (never played, already paused, or media
+      // done) is a state error per §A.1.
+      ++stats_.bad_state_455;
+      respond(peer, RtspResponse{
+                        .status = 455, .cseq = req.cseq,
+                        .session_id = s->id});
+      return;
+    }
+    pumps_.at(s->pump_id)->gate.pause();
+    s->state = SessionState::kReady;
+    s->paused = true;
+    ++stats_.pauses;
+    respond(peer, RtspResponse{
+                      .status = 200, .cseq = req.cseq, .session_id = s->id});
+  }
+
+  void handle_teardown(int peer, const RtspRequest& req) {
+    Session* s = find(req.session_id);
+    if (s == nullptr) return stale(peer, req);
+    const std::uint64_t cseq = req.cseq;
+    const std::uint64_t sid = s->id;
+    close_session(sid);
+    ++stats_.teardowns;
+    respond(peer,
+            RtspResponse{.status = 200, .cseq = cseq, .session_id = sid});
+  }
+
+  void stale(int peer, const RtspRequest& req) {
+    ++stats_.stale_454;
+    respond(peer, RtspResponse{.status = 454, .cseq = req.cseq});
+  }
+
+  [[nodiscard]] Session* find(std::uint64_t sid) {
+    if (incarnation_of(sid) != config_.incarnation) return nullptr;
+    const auto it = sessions_.find(sid);
+    return it == sessions_.end() ? nullptr : &it->second;
+  }
+
+  void respond(int peer, const RtspResponse& resp) {
+    Connection& conn = conns_[peer];
+    if (conn.reply_port < 0) return;  // nowhere to answer; client is mute
+    if (!conn.tx) {
+      conn.tx = std::make_unique<net::TcpLiteSender>(
+          engine_, ether_, net::kNiStackCost, conn.reply_port,
+          config_.response_params);
+    }
+    if (conn.tx->closing() || conn.tx->aborted()) return;
+    auto text = std::make_shared<std::string>(format_response(resp));
+    net::Packet pkt;
+    pkt.bytes = static_cast<std::uint32_t>(text->size());
+    pkt.body = std::move(text);
+    conn.tx->send(pkt);
+  }
+
+  void start_pump(Session& s) {
+    if (s.stream == dwcs::kInvalidStream) {
+      // No SETUP-time reservation backs this PLAY. Cannot happen by
+      // construction; counted so the bench can assert it stayed impossible.
+      ++stats_.post_play_admission_violations;
+      return;
+    }
+    const std::uint64_t pid = ++pump_counter_;
+    auto ctx = std::make_unique<PumpContext>(engine_);
+    ctx->rtp.ssrc = static_cast<std::uint32_t>(s.id ^ (s.id >> 32));
+    ctx->path = session_path_synthetic(engine_, acquire_task(*ctx), service_,
+                                       ctx->rtp, rtp_out_, s.rtcp_port,
+                                       config_.rtp);
+    PumpContext* raw = ctx.get();
+    pumps_.emplace(pid, std::move(ctx));
+    s.pump_id = pid;
+    s.state = SessionState::kPlaying;
+    s.ever_played = true;
+    s.paused = false;
+    pump_wrapper(s.id, pid, raw, s.frames, s.frame_bytes, s.stream, s.period)
+        .detach();
+  }
+
+  rtos::Task& acquire_task(PumpContext& ctx) {
+    if (free_tasks_.empty()) {
+      ctx.task = &kernel_.spawn(
+          "rtsp-pump-" + std::to_string(++task_counter_),
+          config_.pump_priority);
+    } else {
+      ctx.task = free_tasks_.back();
+      free_tasks_.pop_back();
+    }
+    return *ctx.task;
+  }
+
+  sim::Coro pump_wrapper(std::uint64_t sid, std::uint64_t pid,
+                         PumpContext* ctx, std::uint64_t frames,
+                         std::uint32_t bytes, dwcs::StreamId stream,
+                         sim::Time period) {
+    auto source = path::fixed_frame_source(frames, bytes, {}, stream,
+                                           path::Provenance::kSynthetic);
+    co_await path::pump(
+        ctx->path, std::move(source),
+        path::Pacing{.burst_frames = 1,
+                     .gap = period,
+                     .where = path::Pacing::Where::kBeforeFrame,
+                     .grid = true},
+        ctx->stats, {}, &ctx->gate);
+    on_pump_done(sid, pid);
+    // Past this point the coroutine frame must touch only locals: the
+    // PumpContext was just destroyed.
+  }
+
+  void on_pump_done(std::uint64_t sid, std::uint64_t pid) {
+    const auto it = pumps_.find(pid);
+    if (it == pumps_.end()) return;
+    stats_.frames_pumped += it->second->stats.frames_produced;
+    free_tasks_.push_back(it->second->task);
+    pumps_.erase(it);
+    const auto sit = sessions_.find(sid);
+    if (sit != sessions_.end() && sit->second.pump_id == pid) {
+      sit->second.pump_id = 0;
+      if (sit->second.state == SessionState::kPlaying) {
+        // Media ran dry (not a stop): back to Ready until TEARDOWN or reap.
+        sit->second.state = SessionState::kReady;
+        ++stats_.eos;
+      }
+      sit->second.paused = false;
+      sit->second.last_activity = engine_.now();
+    }
+  }
+
+  /// Tear down one session: stop its pump (the pump's own completion path
+  /// does the context bookkeeping), release the reservation, purge its ring
+  /// backlog, and forget it. The dense scheduler stream id itself is never
+  /// reused — create_stream ids are append-only, as everywhere else.
+  void close_session(std::uint64_t sid) {
+    const auto it = sessions_.find(sid);
+    if (it == sessions_.end()) return;
+    Session& s = it->second;
+    if (s.pump_id != 0) pumps_.at(s.pump_id)->gate.stop();
+    admission_.release(s.adm);
+    // Retire BEFORE purging: the frames the purge drops (and any final
+    // in-flight frame the stopping pump still enqueues) were abandoned by
+    // the closing client — they are churn cost, not a scheduling miss.
+    if (monitor_ != nullptr) monitor_->retire({0, s.stream});
+    service_.scheduler().purge_stream(s.stream);
+    auto cit = conns_.find(s.ctl_peer);
+    if (cit != conns_.end()) {
+      std::erase(cit->second.sessions, sid);
+    }
+    sessions_.erase(it);
+  }
+
+  /// Collect sessions that are not playing and have been silent past the
+  /// idle timeout: half-open clients (vanished after SETUP or after their
+  /// media finished) must not hold admission share forever.
+  sim::Coro reaper() {
+    for (;;) {
+      co_await sim::Delay{engine_, config_.reap_interval};
+      reap_scratch_.clear();
+      for (const auto& [sid, s] : sessions_) {
+        if (s.state == SessionState::kPlaying) continue;
+        if (engine_.now() - s.last_activity >= config_.idle_timeout) {
+          reap_scratch_.push_back(sid);
+        }
+      }
+      for (const std::uint64_t sid : reap_scratch_) {
+        close_session(sid);
+        ++stats_.reaped_idle;
+      }
+    }
+  }
+
+  sim::Engine& engine_;
+  hw::EthernetSwitch& ether_;
+  rtos::WindKernel& kernel_;
+  dvcm::StreamService& service_;
+  net::UdpEndpoint& rtp_out_;
+  dwcs::AdmissionController& admission_;
+  dwcs::WindowViolationMonitor* monitor_;
+  Config config_;
+  Stats stats_;
+  sim::Mailbox<Pending> inbox_;
+  net::TcpLiteReceiver ctl_rx_;
+  rtos::Task& ctl_task_;
+  // std::map throughout: deterministic iteration order is what makes a
+  // same-seed churn replay byte-identical.
+  std::map<int, Connection> conns_;
+  std::map<std::uint64_t, Session> sessions_;
+  std::map<std::uint64_t, std::unique_ptr<PumpContext>> pumps_;
+  std::vector<rtos::Task*> free_tasks_;
+  std::vector<std::uint64_t> reap_scratch_;
+  std::uint32_t session_counter_ = 0;
+  std::uint64_t pump_counter_ = 0;
+  std::uint64_t task_counter_ = 0;
+};
+
+}  // namespace nistream::session
