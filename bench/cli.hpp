@@ -90,6 +90,26 @@ inline std::vector<std::uint64_t> flag_u64_list(int argc, char** argv,
   return out;
 }
 
+/// Value of `--<name>=<a,b,c>` parsed as comma-separated strings, or
+/// `fallback` (itself a comma-separated literal) when absent. Empty tokens
+/// are skipped. Used for name-valued axis lists (`--tenants=alpha,beta`,
+/// `--rules=w0,w64,w1024`).
+inline std::vector<std::string> flag_str_list(int argc, char** argv,
+                                              std::string_view name,
+                                              std::string_view fallback) {
+  const std::string value = flag_str(argc, argv, name, fallback);
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= value.size()) {
+    const std::size_t comma = value.find(',', pos);
+    const std::size_t end = comma == std::string::npos ? value.size() : comma;
+    if (end > pos) out.push_back(value.substr(pos, end - pos));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
 /// True when bare `--<name>` appears in argv (a boolean switch).
 inline bool flag_present(int argc, char** argv, std::string_view name) {
   const std::string flag = "--" + std::string{name};

@@ -1,0 +1,485 @@
+// Ingress chaos sweep: multi-tenant flood isolation at the NI front door,
+// measured end to end.
+//
+// Every cell boots a full multi-tenant SessionServer (RTSP front door with
+// per-tenant admission budgets, (scope, stream) violation monitoring) plus
+// an IngressDemux raw-packet surface on the same simulated i960, then runs
+// the same victim fleet twice:
+//
+//  * baseline — every tenant runs a polite fleet sized inside its admission
+//               share. No raw traffic touches the demux port.
+//  * flood    — the FIRST tenant on the --tenants list turns hostile: it
+//               fires 10x its admission budget in SETUPs at the control
+//               plane AND sprays raw packets (half from inside its /16 —
+//               attributable; half from nobody's address block) at the
+//               demux port for the whole storm window. The victim tenants'
+//               fleets are byte-identical to the baseline (per-client seeds
+//               are a function of (tenant, index) only).
+//
+// The gate IS the paper's claim at tenant granularity: flood isolation.
+//  * every victim tenant's max per-stream violation rate in the flood run
+//    stays within noise (+0.02) of its flood-free baseline;
+//  * every victim stream admitted in the baseline is admitted in the flood
+//    (the flooder exhausts only its OWN budget: tenant_rejected_453 > 0);
+//  * the demux accounts for every raw packet (received == sum of verdicts,
+//    attributed and unmatched drops both nonzero) and delivers none of the
+//    garbage;
+//  * both runs replay bit-identically from their seeds (FNV fingerprints
+//    over every client outcome and every server/demux counter).
+// The binary exits nonzero when any property fails, so CI can gate on it.
+//
+// Reproducible from the command line:
+//   ingress_chaos_sweep [out.json] [--seed=u64] [--jobs=N] [--smoke]
+//                       [--tenants=alpha,beta]
+// Cells are independent simulations; results are emitted in grid order, so
+// the JSON is byte-identical for any job count (only its "jobs" stamp
+// differs). --smoke shrinks the fleets for CI gate runs.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/client.hpp"
+#include "bench_util.hpp"
+#include "cli.hpp"
+#include "ingress/demux.hpp"
+#include "runner.hpp"
+#include "session/client.hpp"
+#include "session/server.hpp"
+
+using namespace nistream;
+
+namespace {
+
+constexpr sim::Time kStormWindow = sim::Time::sec(1);
+constexpr sim::Time kRunFor = sim::Time::sec(20);
+constexpr sim::Time kFramePeriod = sim::Time::ms(10);
+
+// Mirrors the SessionServer defaults (per_frame_cpu 120us, headroom 0.90):
+// the CPU budget binds well before the link at 10 ms periods, so a tenant
+// with share s admits about s * 0.90 / 0.012 streams.
+constexpr double kCpuLoadPerStream = 120e-6 / 10e-3;
+constexpr double kHeadroom = 0.90;
+
+std::uint64_t splitmix64(std::uint64_t s) {
+  s += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = s;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d4b9f2a6c3e1b5ull;
+  return z ^ (z >> 31);
+}
+
+struct Fingerprint {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  void add(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  }
+  void add_double(double d) {
+    std::uint64_t bits;
+    static_assert(sizeof bits == sizeof d);
+    __builtin_memcpy(&bits, &d, sizeof bits);
+    add(bits);
+  }
+};
+
+struct TenantOutcome {
+  std::string name;
+  std::uint32_t scope = 0;
+  std::uint64_t clients = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t completed = 0;
+  double scope_max_violation_rate = 0;
+  double scope_aggregate_violation_rate = 0;
+  std::uint64_t scope_violating_streams = 0;
+};
+
+struct FleetResult {
+  std::uint64_t fingerprint = 0;
+  session::RtspFrontDoor::Stats door;
+  ingress::IngressDemux::Stats demux;
+  std::uint64_t attributed_to_flooder = 0;
+  std::uint64_t responded = 0;
+  std::uint64_t frames_delivered = 0;
+  std::vector<TenantOutcome> tenants;  // index 0 = flooder
+};
+
+struct FleetSpec {
+  const std::vector<std::string>* tenant_names = nullptr;
+  std::size_t victim_n = 0;     // polite clients per tenant
+  std::size_t flood_setups = 0; // extra flooder SETUPs (0 = baseline)
+  std::size_t flood_packets = 0;// raw packets at the demux (0 = baseline)
+};
+
+FleetResult run_fleet(const FleetSpec& spec, std::uint64_t seed) {
+  FleetResult r;
+  const auto& names = *spec.tenant_names;
+  sim::Engine eng;
+  hw::EthernetSwitch ether{eng};
+
+  session::SessionServer::Config cfg;
+  cfg.door.idle_timeout = sim::Time::ms(500);
+  cfg.door.reap_interval = sim::Time::ms(125);
+  const double share = 1.0 / static_cast<double>(names.size());
+  for (const auto& name : names) {
+    cfg.tenants.emplace_back(
+        name, ingress::TenantBudget{.link_share = share, .cpu_share = share});
+  }
+  session::SessionServer server{eng, ether, cfg};
+
+  // Raw ingress surface: the flooder's /16 is attributable (and dropped);
+  // everything else the trie does not know is dropped unattributed. No
+  // exact rules — admitted media rides the RTSP-established path, not the
+  // raw port, so any delivery here would itself be a leak.
+  const ingress::TenantId flooder = server.tenants().resolve(names[0]);
+  ingress::FlowTable table{{.trie_nodes = 64, .trie_rules = 4}};
+  table.add_category(ingress::kMatchFullTuple, 8);
+  if (!table.insert_prefix(ingress::tenant_prefix_of(flooder), 16, flooder)) {
+    std::fprintf(stderr, "flood prefix install failed\n");
+    std::exit(1);
+  }
+  ingress::IngressDemux demux{eng, ether, server.kernel(), table,
+                              server.service()};
+
+  apps::MpegClient media{eng, ether};
+  std::uint64_t rtcp_reports = 0;
+  net::UdpEndpoint rtcp_sink{eng, ether, net::kHostStackCost,
+                             [&rtcp_reports](const net::Packet&, sim::Time) {
+                               ++rtcp_reports;
+                             }};
+
+  // Per-client seeds are a pure function of (tenant index, client index) and
+  // the master seed, so the victim fleets are identical between the baseline
+  // and flood runs of a cell — the comparison is apples to apples.
+  const auto window_us = static_cast<std::uint64_t>(kStormWindow.to_us());
+  const auto client_cfg = [&](std::size_t tenant_idx, std::size_t i) {
+    const std::uint64_t s =
+        splitmix64(seed ^ (static_cast<std::uint64_t>(tenant_idx) << 40) ^ i);
+    session::RtspChurnClient::Config c;
+    c.arrival = sim::Time::us(static_cast<double>(s % window_us));
+    c.frames = 4 + splitmix64(s) % 8;
+    c.period = kFramePeriod;
+    c.uri = "rtsp://ni/" + names[tenant_idx] + "/s" + std::to_string(i);
+    return c;
+  };
+  std::vector<std::unique_ptr<session::RtspChurnClient>> clients;
+  std::vector<std::size_t> owner;  // tenant index per client
+  const auto spawn = [&](std::size_t tenant_idx, std::size_t count,
+                         std::size_t index_base) {
+    for (std::size_t i = 0; i < count; ++i) {
+      clients.push_back(std::make_unique<session::RtspChurnClient>(
+          eng, ether, server.control_port(), media, rtcp_sink.port(),
+          client_cfg(tenant_idx, index_base + i)));
+      owner.push_back(tenant_idx);
+      clients.back()->start();
+    }
+  };
+  for (std::size_t t = 0; t < names.size(); ++t) spawn(t, spec.victim_n, 0);
+  // The control-plane flood: 10x-budget SETUPs, distinct stream URIs so
+  // every one is a fresh admission decision against the flooder's share.
+  spawn(0, spec.flood_setups, spec.victim_n);
+
+  // The data-plane flood: raw packets spread across the storm window,
+  // alternating between the flooder's address block and nobody's.
+  auto raw_flood = [&eng, &demux](net::UdpEndpoint& tx, std::size_t packets,
+                                  ingress::TenantId from,
+                                  std::uint64_t rng) -> sim::Coro {
+    const double gap_us = kStormWindow.to_us() / static_cast<double>(packets);
+    for (std::size_t i = 0; i < packets; ++i) {
+      co_await sim::Delay{eng, sim::Time::us(gap_us)};
+      net::Packet p;
+      rng = splitmix64(rng);
+      p.stream_id = i % 2 == 0
+                        ? ingress::pack_flow(from, 1 << 20 | (rng & 0xFFFF))
+                        : ingress::pack_flow(99, rng & 0xFFFF);
+      p.bytes = 200;
+      tx.send(demux.port(), p);
+    }
+  };
+  net::UdpEndpoint flood_tx{eng, ether, net::kHostStackCost,
+                            net::UdpEndpoint::Receiver{}};
+  if (spec.flood_packets > 0) {
+    raw_flood(flood_tx, spec.flood_packets, flooder, splitmix64(seed ^ 0xF10))
+        .detach();
+  }
+
+  eng.run_until(kRunFor);
+
+  Fingerprint fp;
+  r.tenants.resize(names.size());
+  for (std::size_t t = 0; t < names.size(); ++t) {
+    r.tenants[t].name = names[t];
+    r.tenants[t].scope = server.tenants().resolve(names[t]);
+  }
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    const auto& o = clients[i]->outcome();
+    auto& tn = r.tenants[owner[i]];
+    ++tn.clients;
+    if (o.responded_setup) ++r.responded;
+    if (o.admitted) ++tn.admitted;
+    if (o.completed) ++tn.completed;
+    fp.add(static_cast<std::uint64_t>(o.setup_status));
+    fp.add(o.admitted ? 1 : 0);
+    fp.add(o.completed ? 1 : 0);
+    fp.add(o.cseq_errors);
+  }
+  for (auto& tn : r.tenants) {
+    const auto& mon = server.monitor();
+    tn.scope_max_violation_rate = mon.scope_max_violation_rate(tn.scope);
+    tn.scope_aggregate_violation_rate =
+        mon.scope_aggregate_violation_rate(tn.scope);
+    tn.scope_violating_streams = mon.scope_violating_streams(tn.scope);
+    fp.add(tn.admitted);
+    fp.add(tn.completed);
+    fp.add(tn.scope_violating_streams);
+    fp.add_double(tn.scope_max_violation_rate);
+    fp.add_double(tn.scope_aggregate_violation_rate);
+  }
+
+  r.door = server.door().stats();
+  r.demux = demux.stats();
+  r.attributed_to_flooder = demux.tenant_counters(flooder).dropped;
+  r.frames_delivered = media.total_frames();
+  for (const std::uint64_t v :
+       {r.door.requests, r.door.setups_ok, r.door.rejected_453,
+        r.door.tenant_rejected_453, r.door.plays, r.door.teardowns,
+        r.door.reaped_idle, r.door.eos, r.door.frames_pumped,
+        r.door.post_play_admission_violations, r.demux.received,
+        r.demux.delivered, r.demux.dropped_rule, r.demux.dropped_attributed,
+        r.demux.dropped_unmatched, r.demux.ring_full, r.attributed_to_flooder,
+        r.frames_delivered, rtcp_reports}) {
+    fp.add(v);
+  }
+  r.fingerprint = fp.h;
+  return r;
+}
+
+struct CellResult {
+  const char* label = "";
+  std::size_t victim_n = 0;
+  std::size_t flood_setups = 0;
+  std::size_t flood_packets = 0;
+  FleetResult baseline;
+  FleetResult flood;
+  bool replay_identical = false;
+  bool ok = true;
+  std::string fail_reason;
+};
+
+CellResult run_cell(const char* label,
+                    const std::vector<std::string>& tenant_names,
+                    std::size_t victim_n, std::size_t flood_setups,
+                    std::size_t flood_packets, std::uint64_t seed) {
+  CellResult r;
+  r.label = label;
+  r.victim_n = victim_n;
+  r.flood_setups = flood_setups;
+  r.flood_packets = flood_packets;
+
+  FleetSpec base{&tenant_names, victim_n, 0, 0};
+  FleetSpec flood{&tenant_names, victim_n, flood_setups, flood_packets};
+  r.baseline = run_fleet(base, seed);
+  r.flood = run_fleet(flood, seed);
+  // Replay gate: both halves of the cell rerun from the same seeds must
+  // fingerprint identically, or the ingress plane leaked nondeterminism.
+  r.replay_identical =
+      run_fleet(base, seed).fingerprint == r.baseline.fingerprint &&
+      run_fleet(flood, seed).fingerprint == r.flood.fingerprint;
+
+  auto fail = [&r](const std::string& why) {
+    r.ok = false;
+    r.fail_reason += (r.fail_reason.empty() ? "" : "; ") + why;
+  };
+  if (!r.replay_identical) fail("same-seed replay diverged");
+  if (r.flood.door.tenant_rejected_453 == 0) {
+    fail("flooder never hit its tenant budget");
+  }
+  if (r.flood.door.post_play_admission_violations != 0 ||
+      r.baseline.door.post_play_admission_violations != 0) {
+    fail("admission decided after PLAY");
+  }
+  const std::size_t total_clients =
+      tenant_names.size() * victim_n + flood_setups;
+  if (r.flood.responded != total_clients) {
+    fail("control plane dropped SETUPs under flood");
+  }
+  // The headline gate: no victim scope's max per-stream violation rate may
+  // move beyond noise relative to its own flood-free baseline, and every
+  // victim stream admitted without the flood is admitted with it.
+  for (std::size_t t = 1; t < r.flood.tenants.size(); ++t) {
+    const auto& b = r.baseline.tenants[t];
+    const auto& f = r.flood.tenants[t];
+    if (f.scope_max_violation_rate > b.scope_max_violation_rate + 0.02) {
+      fail("victim " + f.name + " max violation rate " +
+           std::to_string(f.scope_max_violation_rate) + " vs baseline " +
+           std::to_string(b.scope_max_violation_rate));
+    }
+    if (f.admitted != b.admitted) {
+      fail("victim " + f.name + " admissions moved under flood (" +
+           std::to_string(f.admitted) + " vs " + std::to_string(b.admitted) +
+           ")");
+    }
+  }
+  const auto& d = r.flood.demux;
+  if (d.received != d.delivered + d.dropped_rule + d.dropped_attributed +
+                        d.dropped_unmatched + d.ring_full) {
+    fail("demux lost packets (accounting mismatch)");
+  }
+  if (d.received != flood_packets) fail("raw flood not fully received");
+  if (d.delivered != 0) fail("raw garbage reached a stream ring");
+  if (flood_packets > 0 &&
+      (d.dropped_attributed == 0 || d.dropped_unmatched == 0)) {
+    fail("flood drops not split attributed/unmatched");
+  }
+  if (r.baseline.demux.received != 0) fail("baseline saw raw traffic");
+  if (r.flood.frames_delivered == 0) fail("no media delivered at all");
+  return r;
+}
+
+void write_fleet(std::ofstream& out, const char* key, const FleetResult& f) {
+  out << "     \"" << key << "\": {\"setups_ok\": " << f.door.setups_ok
+      << ", \"rejected_453\": " << f.door.rejected_453
+      << ", \"tenant_rejected_453\": " << f.door.tenant_rejected_453
+      << ", \"reaped_idle\": " << f.door.reaped_idle
+      << ", \"frames_delivered\": " << f.frames_delivered
+      << ",\n      \"demux\": {\"received\": " << f.demux.received
+      << ", \"delivered\": " << f.demux.delivered
+      << ", \"dropped_attributed\": " << f.demux.dropped_attributed
+      << ", \"dropped_unmatched\": " << f.demux.dropped_unmatched
+      << ", \"attributed_to_flooder\": " << f.attributed_to_flooder
+      << "},\n      \"tenants\": [\n";
+  for (std::size_t t = 0; t < f.tenants.size(); ++t) {
+    const auto& tn = f.tenants[t];
+    char buf[320];
+    std::snprintf(buf, sizeof buf,
+                  "       {\"name\": \"%s\", \"scope\": %u, \"clients\": "
+                  "%llu, \"admitted\": %llu, \"completed\": %llu, "
+                  "\"scope_max_violation_rate\": %.4f, "
+                  "\"scope_aggregate_violation_rate\": %.6f, "
+                  "\"scope_violating_streams\": %llu}",
+                  tn.name.c_str(), tn.scope,
+                  static_cast<unsigned long long>(tn.clients),
+                  static_cast<unsigned long long>(tn.admitted),
+                  static_cast<unsigned long long>(tn.completed),
+                  tn.scope_max_violation_rate,
+                  tn.scope_aggregate_violation_rate,
+                  static_cast<unsigned long long>(tn.scope_violating_streams));
+    out << buf << (t + 1 < f.tenants.size() ? ",\n" : "\n");
+  }
+  out << "      ]}";
+}
+
+void write_json(const std::vector<CellResult>& cells,
+                const std::vector<std::string>& tenant_names,
+                const std::string& path, std::uint64_t seed, unsigned jobs,
+                bool all_ok) {
+  std::ofstream out{path};
+  if (!out) {
+    std::printf("could not write %s\n", path.c_str());
+    return;
+  }
+  out << "{\n  \"bench\": \"ingress_chaos_sweep\",\n";
+  bench::write_stamp(out, jobs);
+  out << "  \"seed\": " << seed << ",\n  \"tenants\": [";
+  for (std::size_t i = 0; i < tenant_names.size(); ++i) {
+    out << "\"" << tenant_names[i] << "\""
+        << (i + 1 < tenant_names.size() ? ", " : "");
+  }
+  out << "],\n  \"flooder\": \"" << tenant_names[0] << "\",\n"
+      << "  \"ok\": " << (all_ok ? "true" : "false") << ",\n"
+      << "  \"cells\": [\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const auto& c = cells[i];
+    out << "    {\"cell\": \"" << c.label
+        << "\", \"victims_per_tenant\": " << c.victim_n
+        << ", \"flood_setups\": " << c.flood_setups
+        << ", \"flood_packets\": " << c.flood_packets
+        << ", \"replay_identical\": " << (c.replay_identical ? "true" : "false")
+        << ", \"ok\": " << (c.ok ? "true" : "false");
+    if (!c.ok) out << ", \"fail_reason\": \"" << c.fail_reason << "\"";
+    out << ",\n";
+    write_fleet(out, "baseline", c.baseline);
+    out << ",\n";
+    write_fleet(out, "flood", c.flood);
+    out << "}" << (i + 1 < cells.size() ? ",\n" : "\n");
+  }
+  out << "  ]\n}\n";
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path =
+      bench::out_path(argc, argv, "BENCH_ingress.json");
+  const std::uint64_t seed = bench::flag_u64(argc, argv, "seed", 0x16E55);
+  const unsigned jobs = bench::flag_jobs(argc, argv);
+  const bool smoke = bench::flag_present(argc, argv, "smoke");
+  const std::vector<std::string> tenant_names =
+      bench::flag_str_list(argc, argv, "tenants", "alpha,beta,gamma");
+  if (tenant_names.size() < 2) {
+    std::fprintf(stderr,
+                 "--tenants needs at least a flooder and one victim\n");
+    return 2;
+  }
+
+  // Per-tenant admission capacity in streams, from the server defaults.
+  const double share = 1.0 / static_cast<double>(tenant_names.size());
+  const auto capacity = static_cast<std::size_t>(share * kHeadroom /
+                                                 kCpuLoadPerStream);
+  struct CellSpec {
+    const char* label;
+    std::size_t victim_n;
+    std::size_t flood_packets;
+  };
+  const std::vector<CellSpec> specs =
+      smoke ? std::vector<CellSpec>{{"light", capacity / 2, 1'000}}
+            : std::vector<CellSpec>{{"light", capacity / 2, 4'000},
+                                    {"near-capacity", capacity - 2, 8'000}};
+  const std::size_t flood_setups = 10 * capacity;
+
+  std::printf("==== ingress chaos sweep: %zu tenants (flooder=%s), "
+              "capacity=%zu streams/tenant, seed=%llu, jobs=%u%s ====\n",
+              tenant_names.size(), tenant_names[0].c_str(), capacity,
+              static_cast<unsigned long long>(seed), jobs,
+              smoke ? " (smoke)" : "");
+  std::vector<CellResult> cells(specs.size());
+  bench::run_cells(specs.size(), jobs, [&](std::size_t i) {
+    std::uint64_t coord = specs[i].victim_n * 8191 + specs[i].flood_packets;
+    cells[i] = run_cell(specs[i].label, tenant_names, specs[i].victim_n,
+                        flood_setups, specs[i].flood_packets, seed ^ coord);
+  });
+
+  std::printf("%14s %8s %8s %10s %10s %12s %12s %7s %5s\n", "cell", "victims",
+              "t453", "attr_drop", "unmatched", "victim_max", "base_max",
+              "replay", "ok");
+  bool all_ok = true;
+  for (const auto& c : cells) {
+    double victim_max = 0, base_max = 0;
+    for (std::size_t t = 1; t < c.flood.tenants.size(); ++t) {
+      victim_max = std::max(victim_max,
+                            c.flood.tenants[t].scope_max_violation_rate);
+      base_max = std::max(base_max,
+                          c.baseline.tenants[t].scope_max_violation_rate);
+    }
+    std::printf(
+        "%14s %8zu %8llu %10llu %10llu %12.4f %12.4f %7s %5s\n", c.label,
+        c.victim_n,
+        static_cast<unsigned long long>(c.flood.door.tenant_rejected_453),
+        static_cast<unsigned long long>(c.flood.demux.dropped_attributed),
+        static_cast<unsigned long long>(c.flood.demux.dropped_unmatched),
+        victim_max, base_max, c.replay_identical ? "yes" : "NO",
+        c.ok ? "yes" : "NO");
+    if (!c.ok) {
+      std::printf("           ^ FAIL: %s\n", c.fail_reason.c_str());
+      all_ok = false;
+    }
+  }
+  write_json(cells, tenant_names, out_path, seed, jobs, all_ok);
+  return all_ok ? 0 : 1;
+}

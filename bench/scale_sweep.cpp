@@ -19,6 +19,15 @@
 // traversal is a coroutine chain over pooled frames and inline-storage
 // events, so regressions in either show up here before anywhere else.
 //
+// A third family measures the ingress classification fast path
+// (ingress::FlowTable): host wall-clock classification decisions/sec and
+// per-decision latency at 1k/10k/100k/1M installed flows, ablated over the
+// wildcard rule count (`--rules=w0,w64,w1024` — trie prefixes installed
+// alongside the exact tuples). The lookup mix is ~80% exact hits / ~10%
+// prefix-attributed / ~10% unmatched, the demux's steady state under a
+// flood. Same two-pass discipline as the scheduler family: a 512-batch
+// throughput pass, then an individually-timed latency pass.
+//
 // Output: a human-readable table on stdout plus BENCH_scale.json (path
 // overridable via the positional arg) so successive PRs have a tracked perf
 // trajectory. `--seed=<u64>` re-seeds the workload generator (default
@@ -44,6 +53,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "apps/client.hpp"
@@ -53,6 +63,7 @@
 #include "cli.hpp"
 #include "dwcs/scheduler.hpp"
 #include "hostos/filesystem.hpp"
+#include "ingress/flow_table.hpp"
 #include "mpeg/frame.hpp"
 #include "runner.hpp"
 #include "sim/random.hpp"
@@ -313,9 +324,187 @@ PathResult run_datapath(char which, std::size_t n,
   return r;
 }
 
+// ---------------------------------------------------------------------------
+// Classification family: ingress::FlowTable decisions/sec, rule ablation.
+// ---------------------------------------------------------------------------
+
+struct ClassResult {
+  std::string rules;  // axis label as given on the command line ("w64")
+  std::size_t wildcards = 0;
+  std::size_t flows = 0;
+  std::uint64_t lookups = 0;
+  double elapsed_sec = 0;
+  double lookups_per_sec = 0;
+  double p50_ns = 0;
+  double p99_ns = 0;
+  std::uint64_t exact_hits = 0;
+  std::uint64_t trie_hits = 0;
+  std::uint64_t misses = 0;
+};
+
+/// Canonical bench key for stream `s`: even streams live in the full-tuple
+/// category, odd streams in a (src, dst, proto) host-pair category whose
+/// address carries the distinction (that mask ignores ports, and a /16 only
+/// has 16 host bits, so the high stream bits go into dst_ip).
+ingress::FlowKey class_key_for(dwcs::StreamId s) {
+  const ingress::TenantId tenant = 1 + (s & 3u);
+  ingress::FlowKey k = ingress::flow_key_of(tenant, s);
+  if (s % 2 != 0) {
+    k.src_ip = ingress::tenant_prefix_of(tenant) | (s & 0xFFFFu);
+    k.dst_ip = 0xC0A8'0000u | (s >> 16);
+  }
+  return k;
+}
+
+/// Build a table with `flows` exact rules split across two categories plus
+/// `wildcards` /24 trie prefixes, then run the two-pass measurement over a
+/// pre-rendered seeded key mix (~80% exact / ~10% trie / ~10% miss).
+ClassResult run_classification(const std::string& label, std::size_t wildcards,
+                               std::size_t flows, std::uint64_t seed,
+                               double throughput_budget_sec,
+                               double latency_budget_sec) {
+  ClassResult r;
+  r.rules = label;
+  r.wildcards = wildcards;
+  r.flows = flows;
+
+  ingress::FlowTable::Config cfg;
+  // N distinct /24s need < 2N+32 trie nodes even fully unshared.
+  cfg.trie_nodes = std::max<std::size_t>(8192, 4 * wildcards);
+  cfg.trie_rules = wildcards + 8;
+  ingress::FlowTable table{cfg};
+  const auto full = table.add_category(ingress::kMatchFullTuple,
+                                       flows / 2 + 1);
+  const auto host = table.add_category(
+      ingress::kMatchSrcIp | ingress::kMatchDstIp | ingress::kMatchProto,
+      flows / 2 + 1);
+  for (dwcs::StreamId s = 0; s < flows; ++s) {
+    const ingress::TenantId tenant = 1 + (s & 3u);
+    if (!table.insert(s % 2 == 0 ? full : host, class_key_for(s), tenant, s)) {
+      std::fprintf(stderr, "classification setup: insert failed at %u\n", s);
+      std::exit(1);
+    }
+  }
+  // Wildcard prefixes in 10.128/9 — disjoint from the exact tenants' /16s,
+  // so every prefix hit is a genuine trie decision.
+  for (std::size_t i = 0; i < wildcards; ++i) {
+    if (!table.insert_prefix(0x0A80'0000u | (static_cast<std::uint32_t>(i)
+                                             << 8),
+                             24, static_cast<ingress::TenantId>(100 + i))) {
+      std::fprintf(stderr, "classification setup: prefix %zu failed\n", i);
+      std::exit(1);
+    }
+  }
+
+  // Pre-render the key mix so the measured loop is classify() and nothing
+  // else; the same mix (mod capacity) cycles through both passes.
+  constexpr std::size_t kMixMask = 4095;
+  std::vector<ingress::FlowKey> keys;
+  keys.reserve(kMixMask + 1);
+  sim::Rng rng{seed ^ (flows * 1099511628211ull) ^ wildcards};
+  for (std::size_t i = 0; i <= kMixMask; ++i) {
+    const std::uint64_t roll = rng.below(100);
+    if (wildcards > 0 && roll < 10) {
+      ingress::FlowKey k = class_key_for(0);
+      k.src_ip = 0x0A80'0000u |
+                 (static_cast<std::uint32_t>(rng.below(wildcards)) << 8) |
+                 static_cast<std::uint32_t>(rng.below(256));
+      keys.push_back(k);
+    } else if (roll < 20) {
+      ingress::FlowKey k = class_key_for(0);
+      k.src_ip = 0x0AC8'0000u | static_cast<std::uint32_t>(rng.below(1 << 16));
+      keys.push_back(k);  // 10.200/16: no exact rule, no prefix
+    } else {
+      keys.push_back(class_key_for(
+          static_cast<dwcs::StreamId>(rng.below(flows))));
+    }
+  }
+
+  // Throughput pass: budget checked every 512 decisions, like run_config.
+  {
+    const auto t0 = Clock::now();
+    double el = 0;
+    std::uint64_t lookups = 0;
+    std::uint64_t sink = 0;
+    for (;;) {
+      for (int k = 0; k < 512; ++k) {
+        sink += static_cast<std::uint64_t>(
+            table.classify(keys[lookups & kMixMask]).match ==
+            ingress::Match::kExact);
+        ++lookups;
+      }
+      el = elapsed_sec(t0);
+      if (el >= throughput_budget_sec) break;
+    }
+    if (sink == 0) std::fprintf(stderr, "classification: no exact hits?\n");
+    r.lookups = lookups;
+    r.elapsed_sec = el;
+    r.lookups_per_sec = static_cast<double>(lookups) / el;
+  }
+
+  // Latency pass: every decision timed individually.
+  {
+    std::vector<std::uint32_t> lat_ns;
+    lat_ns.reserve(1 << 20);
+    std::uint64_t i = 0;
+    const auto t0 = Clock::now();
+    while (elapsed_sec(t0) < latency_budget_sec &&
+           lat_ns.size() < lat_ns.capacity()) {
+      const auto a = Clock::now();
+      const auto d = table.classify(keys[i++ & kMixMask]);
+      const auto b = Clock::now();
+      (void)d;
+      const auto ns =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count();
+      lat_ns.push_back(static_cast<std::uint32_t>(
+          std::min<std::int64_t>(ns, UINT32_MAX)));
+    }
+    if (!lat_ns.empty()) {
+      std::sort(lat_ns.begin(), lat_ns.end());
+      r.p50_ns = lat_ns[lat_ns.size() / 2];
+      r.p99_ns = lat_ns[lat_ns.size() - 1 - lat_ns.size() / 100];
+    }
+  }
+
+  const auto st = table.stats();
+  r.exact_hits = st.exact_hits;
+  r.trie_hits = st.trie_hits;
+  r.misses = st.misses;
+  return r;
+}
+
+/// `--rules=w0,w64,w1024`: each token is `w<N>`, N = wildcard prefix count
+/// installed next to the exact rules. Malformed tokens are a hard error,
+/// same policy as the numeric flag parsers.
+std::vector<std::pair<std::string, std::size_t>> rules_flag(int argc,
+                                                            char** argv) {
+  std::vector<std::pair<std::string, std::size_t>> out;
+  for (const std::string& tok :
+       bench::flag_str_list(argc, argv, "rules", "w0,w64,w1024")) {
+    char* end = nullptr;
+    const unsigned long long v =
+        tok.size() > 1 && tok[0] == 'w'
+            ? std::strtoull(tok.c_str() + 1, &end, 0)
+            : 0;
+    // Cap keeps the ruled /24s below 10.146/16, clear of the 10.200/16
+    // miss traffic.
+    if (end == nullptr || end == tok.c_str() + 1 || *end != '\0' ||
+        v > 4096) {
+      std::fprintf(stderr,
+                   "bad --rules entry: '%s' (expect w<N>, N <= 4096)\n",
+                   tok.c_str());
+      std::exit(2);
+    }
+    out.emplace_back(tok, static_cast<std::size_t>(v));
+  }
+  if (out.empty()) out.emplace_back("w0", 0);
+  return out;
+}
+
 bool write_json(const std::vector<SweepResult>& results,
-                const std::vector<PathResult>& paths, const std::string& path,
-                std::uint64_t seed, unsigned jobs) {
+                const std::vector<PathResult>& paths,
+                const std::vector<ClassResult>& classes,
+                const std::string& path, std::uint64_t seed, unsigned jobs) {
   std::ofstream out{path};
   if (!out) {
     std::printf("could not write %s\n", path.c_str());
@@ -345,6 +534,24 @@ bool write_json(const std::vector<SweepResult>& results,
       out << buf;
     }
     out << (i + 1 < results.size() ? ",\n" : "\n");
+  }
+  out << "  ],\n  \"classification\": [\n";
+  for (std::size_t i = 0; i < classes.size(); ++i) {
+    const auto& c = classes[i];
+    char buf[320];
+    std::snprintf(buf, sizeof buf,
+                  "    {\"rules\": \"%s\", \"wildcards\": %zu, "
+                  "\"flows\": %zu, \"lookups\": %llu, \"elapsed_sec\": %.3f, "
+                  "\"decisions_per_sec\": %.0f, \"p50_ns\": %.0f, "
+                  "\"p99_ns\": %.0f, \"exact_hits\": %llu, "
+                  "\"trie_hits\": %llu, \"misses\": %llu}",
+                  c.rules.c_str(), c.wildcards, c.flows,
+                  static_cast<unsigned long long>(c.lookups), c.elapsed_sec,
+                  c.lookups_per_sec, c.p50_ns, c.p99_ns,
+                  static_cast<unsigned long long>(c.exact_hits),
+                  static_cast<unsigned long long>(c.trie_hits),
+                  static_cast<unsigned long long>(c.misses));
+    out << buf << (i + 1 < classes.size() ? ",\n" : "\n");
   }
   out << "  ],\n  \"datapaths\": [\n";
   for (std::size_t i = 0; i < paths.size(); ++i) {
@@ -540,6 +747,32 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Classification family: flows x wildcard-rule-count grid. Flow counts
+  // reuse the scheduler family's sizes; the rule axis comes from --rules.
+  const auto rules_list = rules_flag(argc, argv);
+  struct ClassCell {
+    std::string label;
+    std::size_t wildcards;
+    std::size_t flows;
+  };
+  std::vector<ClassCell> class_cells;
+  for (const auto& [label, wildcards] : rules_list) {
+    for (const auto n : sizes) class_cells.push_back({label, wildcards, n});
+  }
+  std::vector<ClassResult> class_results(class_cells.size());
+  bench::run_cells(class_cells.size(), jobs, [&](std::size_t i) {
+    class_results[i] = run_classification(
+        class_cells[i].label, class_cells[i].wildcards, class_cells[i].flows,
+        seed, throughput_budget, latency_budget);
+  });
+  std::printf("%-16s %8s %10s %16s %12s %12s\n", "classify", "rules", "flows",
+              "decisions/sec", "p50 ns", "p99 ns");
+  for (const auto& c : class_results) {
+    std::printf("%-16s %8s %10zu %16.0f %12.0f %12.0f\n", "flow_table",
+                c.rules.c_str(), c.flows, c.lookups_per_sec, c.p50_ns,
+                c.p99_ns);
+  }
+
   struct PathCell {
     char which;
     std::size_t streams;
@@ -567,5 +800,8 @@ int main(int argc, char** argv) {
                 p.frames_per_sec);
   }
 
-  return write_json(results, path_results, out_path, seed, jobs) ? 0 : 1;
+  return write_json(results, path_results, class_results, out_path, seed,
+                    jobs)
+             ? 0
+             : 1;
 }

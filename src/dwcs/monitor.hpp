@@ -158,6 +158,46 @@ class WindowViolationMonitor {
     return n;
   }
 
+  /// Per-scope variants of the three fleet numbers above, filtering to one
+  /// placement scope (a tenant, or a board in the cluster plane). The
+  /// tenant-isolation gate compares scope_max_violation_rate of the victim
+  /// tenant against its flood-free baseline.
+  [[nodiscard]] double scope_max_violation_rate(std::uint32_t scope) const {
+    double worst = 0.0;
+    for (const auto& [k, s] : states_) {
+      if ((k >> 32) != scope) continue;
+      const std::uint64_t windows = positions_of(s);
+      if (windows == 0) continue;
+      const double rate = static_cast<double>(s.violating_windows) /
+                          static_cast<double>(windows);
+      if (rate > worst) worst = rate;
+    }
+    return worst;
+  }
+
+  [[nodiscard]] double scope_aggregate_violation_rate(
+      std::uint32_t scope) const {
+    std::uint64_t windows = 0;
+    std::uint64_t violating = 0;
+    for (const auto& [k, s] : states_) {
+      if ((k >> 32) != scope) continue;
+      windows += positions_of(s);
+      violating += s.violating_windows;
+    }
+    return windows ? static_cast<double>(violating) /
+                         static_cast<double>(windows)
+                   : 0.0;
+  }
+
+  [[nodiscard]] std::uint64_t scope_violating_streams(
+      std::uint32_t scope) const {
+    std::uint64_t n = 0;
+    for (const auto& [k, s] : states_) {
+      if ((k >> 32) == scope) n += s.violating_windows > 0;
+    }
+    return n;
+  }
+
  private:
   struct State {
     WindowConstraint constraint;

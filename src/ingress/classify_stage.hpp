@@ -1,0 +1,69 @@
+// ingress::ClassifyStage — packet classification as a composable path stage.
+//
+// Slots into any path:: pipeline like the segmentation stage does: the frame
+// pays a fixed-function classification cost on the NI CPU (base cycles plus
+// a per-probe increment, so deeper probe chains cost more), the FlowTable
+// decision stamps the frame's tenant, and an exact match rebinds the frame
+// to the flow's scheduler stream — demux before the scheduler, where the
+// paper puts it. The stage is stamped by FramePath like every other, so the
+// staged_total tiling invariant (per-stage durations sum exactly to the
+// frame's end-to-end latency) holds with classification in the pipeline.
+#pragma once
+
+#include <cstdint>
+
+#include "ingress/flow_table.hpp"
+#include "path/stages.hpp"
+
+namespace nistream::ingress {
+
+/// Default key extraction for simulation traffic: the frame's (tenant,
+/// stream) identity rendered as the canonical synthetic 5-tuple.
+[[nodiscard]] inline FlowKey frame_flow_key(const path::StagedFrame& f) {
+  return flow_key_of(f.tenant, f.stream);
+}
+
+/// CpuCtx is rtos::Task or hostos::Process — anything with an awaitable
+/// consume_cycles(n), same contract as path::SegmentStage.
+template <typename CpuCtx>
+class ClassifyStage final : public path::Stage {
+ public:
+  using KeyFn = FlowKey (*)(const path::StagedFrame&);
+
+  struct Stats {
+    std::uint64_t classified = 0;  // exact matches (frame bound to a stream)
+    std::uint64_t unbound = 0;     // prefix-only or miss decisions
+  };
+
+  ClassifyStage(CpuCtx& ctx, FlowTable& table, std::int64_t base_cycles = 150,
+                std::int64_t cycles_per_probe = 30,
+                KeyFn key_fn = &frame_flow_key)
+      : ctx_{ctx}, table_{table}, base_cycles_{base_cycles},
+        cycles_per_probe_{cycles_per_probe}, key_fn_{key_fn} {}
+
+  [[nodiscard]] const char* name() const override { return "classify"; }
+
+  sim::Coro apply(path::StagedFrame& f) override {
+    const Decision d = table_.classify(key_fn_(f));
+    co_await ctx_.consume_cycles(base_cycles_ + cycles_per_probe_ * d.probes);
+    f.tenant = d.tenant;
+    if (d.match == Match::kExact) {
+      f.stream = d.stream;
+      ++stats_.classified;
+    } else {
+      ++stats_.unbound;
+    }
+  }
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  CpuCtx& ctx_;
+  FlowTable& table_;
+  std::int64_t base_cycles_;
+  std::int64_t cycles_per_probe_;
+  KeyFn key_fn_;
+  Stats stats_;
+};
+
+}  // namespace nistream::ingress

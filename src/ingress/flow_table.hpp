@@ -1,0 +1,361 @@
+// ingress::FlowTable — the NI's packet-classification fast path.
+//
+// Tuple-space search (TTSS, see PAPERS.md): rules are grouped into a small
+// set of *tuple categories*, each defined by a field mask (which of the
+// 5-tuple fields participate exactly). A lookup probes every category's
+// open-addressed exact-match table with the masked key — one hash probe
+// chain per category, no per-rule scan — and falls back to a longest-prefix
+// binary trie over the source address for wildcard tenant rules that no
+// exact tuple covers. Traffic that matches nothing gets the default verdict
+// (drop): an NI that cannot attribute a packet to a paying (tenant, stream)
+// never spends scheduler cycles on it, which is the paper's host-immunity
+// claim (Figs. 6–10) applied at the front door of the card itself.
+//
+// Discipline, inherited from dwcs::StreamView: the per-rule record is a
+// static_asserted 32-byte struct (two records per cache line), every table
+// and the trie node pool are sized once at construction, and the lookup
+// path — classify() — touches the heap ZERO times (audited by the
+// counting-operator-new test in tests/ingress/). Rules are add-only within
+// a run: the control plane installs flows at SETUP-time rates, the data
+// plane classifies at packet rates, and the asymmetry is the point.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "dwcs/types.hpp"
+
+namespace nistream::ingress {
+
+/// Tenant handle == DWCS monitor scope: scope 0 is the default (unnamed)
+/// tenant, named tenants count up from 1 (see ingress/tenant.hpp).
+using TenantId = std::uint32_t;
+
+/// The classification 5-tuple. Addresses are IPv4 host-order words; the
+/// simulation substrate synthesizes them (flow_key_of below), real ingress
+/// would lift them from headers.
+struct FlowKey {
+  std::uint32_t src_ip = 0;
+  std::uint32_t dst_ip = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t proto = 17;  // UDP, the only wire protocol the RTP plane uses
+
+  friend bool operator==(const FlowKey&, const FlowKey&) = default;
+};
+
+/// Field mask bits naming which key fields a tuple category matches exactly
+/// (unset fields are wildcards within that category).
+enum : std::uint8_t {
+  kMatchSrcIp = 1u << 0,
+  kMatchDstIp = 1u << 1,
+  kMatchSrcPort = 1u << 2,
+  kMatchDstPort = 1u << 3,
+  kMatchProto = 1u << 4,
+  kMatchFullTuple =
+      kMatchSrcIp | kMatchDstIp | kMatchSrcPort | kMatchDstPort | kMatchProto,
+};
+
+/// One installed rule. Exactly 32 bytes — two per cache line, same record
+/// discipline as dwcs::StreamView.
+struct FlowRecord {
+  std::uint32_t src_ip = 0;    // masked key fields (wildcards zeroed)
+  std::uint32_t dst_ip = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t proto = 0;
+  std::uint8_t flags = 0;      // kOccupied | kDrop
+  std::uint16_t category = 0;
+  TenantId tenant = 0;
+  dwcs::StreamId stream = dwcs::kInvalidStream;
+  std::uint64_t hits = 0;
+
+  static constexpr std::uint8_t kOccupied = 1u << 0;
+  static constexpr std::uint8_t kDrop = 1u << 1;
+};
+static_assert(sizeof(FlowRecord) == 32,
+              "FlowRecord must stay two-per-cache-line");
+
+/// How far a lookup got. kExact binds the packet to a scheduler stream;
+/// kPrefix attributes it to a tenant (wildcard rule) without a stream —
+/// enough to bill the drop to the right customer; kMiss is unattributable.
+enum class Match : std::uint8_t { kMiss, kPrefix, kExact };
+
+struct Decision {
+  Match match = Match::kMiss;
+  bool drop = true;  // default verdict: unmatched ingress never goes further
+  TenantId tenant = 0;
+  dwcs::StreamId stream = dwcs::kInvalidStream;
+  std::uint16_t category = kMissCategory;
+  std::uint8_t probes = 0;      // open-addressing probes across categories
+  std::uint8_t prefix_len = 0;  // kPrefix: length of the winning prefix
+
+  static constexpr std::uint16_t kMissCategory = 0xFFFF;
+  static constexpr std::uint16_t kTrieCategory = 0xFFFE;
+};
+
+class FlowTable {
+ public:
+  struct Config {
+    /// Node pool + rule pool for the wildcard prefix trie, sized once.
+    std::size_t trie_nodes = 4096;
+    std::size_t trie_rules = 256;
+  };
+
+  struct Stats {
+    std::uint64_t lookups = 0;
+    std::uint64_t exact_hits = 0;
+    std::uint64_t trie_hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t probes = 0;     // total open-addressing probes
+    std::uint64_t max_probes = 0; // worst single lookup
+  };
+
+  // Delegation instead of `Config config = {}`: GCC 12 cannot use a nested
+  // class's default member initializers in a default argument.
+  FlowTable() : FlowTable(Config{}) {}
+  explicit FlowTable(Config config) : config_{config} {
+    nodes_.reserve(config_.trie_nodes);
+    rules_.reserve(config_.trie_rules);
+    nodes_.push_back(TrieNode{});  // root
+  }
+
+  FlowTable(const FlowTable&) = delete;
+  FlowTable& operator=(const FlowTable&) = delete;
+
+  /// Add a tuple category matching the masked fields exactly, able to hold
+  /// `capacity` rules (slot count is the next power of two above 8/7 of
+  /// that, so probe chains stay short at full occupancy). Lookups probe
+  /// categories in add order — install the most specific first.
+  std::uint16_t add_category(std::uint8_t mask, std::size_t capacity) {
+    assert(categories_.size() < Decision::kTrieCategory);
+    Category c;
+    c.mask = mask;
+    c.capacity = capacity;
+    std::size_t slots = 8;
+    while (slots < capacity + capacity / 7 + 1) slots <<= 1;
+    c.slot_mask = slots - 1;
+    c.records.assign(slots, FlowRecord{});
+    categories_.push_back(std::move(c));
+    return static_cast<std::uint16_t>(categories_.size() - 1);
+  }
+
+  /// Install one exact rule into `category` (the key is masked by the
+  /// category's field mask first). False when the category is at capacity
+  /// or the masked key is already present — fixed-capacity, no growth.
+  bool insert(std::uint16_t category, const FlowKey& key, TenantId tenant,
+              dwcs::StreamId stream, bool drop = false) {
+    Category& c = categories_[category];
+    if (c.installed == c.capacity) return false;
+    const FlowKey m = masked(key, c.mask);
+    std::size_t i = hash_key(m) & c.slot_mask;
+    for (;; i = (i + 1) & c.slot_mask) {
+      FlowRecord& r = c.records[i];
+      if ((r.flags & FlowRecord::kOccupied) == 0) {
+        r.src_ip = m.src_ip;
+        r.dst_ip = m.dst_ip;
+        r.src_port = m.src_port;
+        r.dst_port = m.dst_port;
+        r.proto = m.proto;
+        r.flags = static_cast<std::uint8_t>(
+            FlowRecord::kOccupied | (drop ? FlowRecord::kDrop : 0));
+        r.category = category;
+        r.tenant = tenant;
+        r.stream = stream;
+        r.hits = 0;
+        ++c.installed;
+        return true;
+      }
+      if (record_matches(r, m)) return false;  // duplicate masked key
+    }
+  }
+
+  /// Install a wildcard prefix rule: src_ip/len → tenant. False when the
+  /// node or rule pool is exhausted (fixed capacity, never grown) or the
+  /// exact prefix is already ruled.
+  bool insert_prefix(std::uint32_t src_prefix, std::uint8_t len,
+                     TenantId tenant, bool drop = true) {
+    assert(len <= 32);
+    if (rules_.size() == config_.trie_rules) return false;
+    std::int32_t node = 0;
+    for (std::uint8_t depth = 0; depth < len; ++depth) {
+      const int bit = (src_prefix >> (31 - depth)) & 1;
+      std::int32_t next = nodes_[static_cast<std::size_t>(node)].child[bit];
+      if (next < 0) {
+        if (nodes_.size() == config_.trie_nodes) return false;
+        next = static_cast<std::int32_t>(nodes_.size());
+        nodes_.push_back(TrieNode{});
+        nodes_[static_cast<std::size_t>(node)].child[bit] = next;
+      }
+      node = next;
+    }
+    TrieNode& leaf = nodes_[static_cast<std::size_t>(node)];
+    if (leaf.rule >= 0) return false;
+    leaf.rule = static_cast<std::int32_t>(rules_.size());
+    rules_.push_back(PrefixRule{tenant, len, drop});
+    return true;
+  }
+
+  /// Classify one packet key: tuple-space search over every category (first
+  /// exact hit in add order wins), longest-prefix trie fallback, default
+  /// drop. Allocation-free; mutates only counters.
+  Decision classify(const FlowKey& key) {
+    Decision d;
+    ++stats_.lookups;
+    std::uint32_t probes = 0;
+    for (std::size_t ci = 0; ci < categories_.size(); ++ci) {
+      Category& c = categories_[ci];
+      const FlowKey m = masked(key, c.mask);
+      std::size_t i = hash_key(m) & c.slot_mask;
+      for (;; i = (i + 1) & c.slot_mask) {
+        ++probes;
+        FlowRecord& r = c.records[i];
+        if ((r.flags & FlowRecord::kOccupied) == 0) break;
+        if (record_matches(r, m)) {
+          ++r.hits;
+          ++stats_.exact_hits;
+          d.match = Match::kExact;
+          d.drop = (r.flags & FlowRecord::kDrop) != 0;
+          d.tenant = r.tenant;
+          d.stream = r.stream;
+          d.category = static_cast<std::uint16_t>(ci);
+          note_probes(d, probes);
+          return d;
+        }
+      }
+    }
+    // Trie fallback: walk src_ip bits, remember the deepest ruled node.
+    std::int32_t node = 0;
+    std::int32_t best = nodes_[0].rule;
+    std::uint8_t best_len = 0;
+    for (std::uint8_t depth = 0; depth < 32 && node >= 0; ++depth) {
+      node = nodes_[static_cast<std::size_t>(node)]
+                 .child[(key.src_ip >> (31 - depth)) & 1];
+      if (node >= 0 && nodes_[static_cast<std::size_t>(node)].rule >= 0) {
+        best = nodes_[static_cast<std::size_t>(node)].rule;
+        best_len = static_cast<std::uint8_t>(depth + 1);
+      }
+    }
+    if (best >= 0) {
+      const PrefixRule& rule = rules_[static_cast<std::size_t>(best)];
+      ++stats_.trie_hits;
+      d.match = Match::kPrefix;
+      d.drop = rule.drop;
+      d.tenant = rule.tenant;
+      d.category = Decision::kTrieCategory;
+      d.prefix_len = best_len;
+      note_probes(d, probes);
+      return d;
+    }
+    ++stats_.misses;
+    note_probes(d, probes);
+    return d;
+  }
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t categories() const { return categories_.size(); }
+  [[nodiscard]] std::size_t installed(std::uint16_t category) const {
+    return categories_[category].installed;
+  }
+  [[nodiscard]] std::size_t prefix_rules() const { return rules_.size(); }
+
+  /// Hits counter of the rule an exact lookup would land on (0 if absent) —
+  /// test/telemetry access, not a fast path.
+  [[nodiscard]] std::uint64_t hits(std::uint16_t category,
+                                   const FlowKey& key) const {
+    const Category& c = categories_[category];
+    const FlowKey m = masked(key, c.mask);
+    std::size_t i = hash_key(m) & c.slot_mask;
+    for (;; i = (i + 1) & c.slot_mask) {
+      const FlowRecord& r = c.records[i];
+      if ((r.flags & FlowRecord::kOccupied) == 0) return 0;
+      if (record_matches(r, m)) return r.hits;
+    }
+  }
+
+ private:
+  struct Category {
+    std::uint8_t mask = kMatchFullTuple;
+    std::size_t capacity = 0;
+    std::size_t installed = 0;
+    std::size_t slot_mask = 0;
+    std::vector<FlowRecord> records;
+  };
+
+  struct TrieNode {
+    std::int32_t child[2] = {-1, -1};
+    std::int32_t rule = -1;
+  };
+
+  struct PrefixRule {
+    TenantId tenant = 0;
+    std::uint8_t len = 0;
+    bool drop = true;
+  };
+
+  [[nodiscard]] static FlowKey masked(const FlowKey& k, std::uint8_t mask) {
+    FlowKey m;
+    m.src_ip = (mask & kMatchSrcIp) ? k.src_ip : 0;
+    m.dst_ip = (mask & kMatchDstIp) ? k.dst_ip : 0;
+    m.src_port = (mask & kMatchSrcPort) ? k.src_port : 0;
+    m.dst_port = (mask & kMatchDstPort) ? k.dst_port : 0;
+    m.proto = (mask & kMatchProto) ? k.proto : 0;
+    return m;
+  }
+
+  [[nodiscard]] static bool record_matches(const FlowRecord& r,
+                                           const FlowKey& m) {
+    return r.src_ip == m.src_ip && r.dst_ip == m.dst_ip &&
+           r.src_port == m.src_port && r.dst_port == m.dst_port &&
+           r.proto == m.proto;
+  }
+
+  [[nodiscard]] static std::uint64_t hash_key(const FlowKey& k) {
+    // splitmix64 finalizer over the packed tuple — cheap, well-mixed, and
+    // stable across runs (the replay gates depend on that).
+    std::uint64_t h =
+        (static_cast<std::uint64_t>(k.src_ip) << 32) | k.dst_ip;
+    h ^= (static_cast<std::uint64_t>(k.src_port) << 48) |
+         (static_cast<std::uint64_t>(k.dst_port) << 32) | k.proto;
+    h += 0x9e3779b97f4a7c15ull;
+    h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+    h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+    return h ^ (h >> 31);
+  }
+
+  void note_probes(Decision& d, std::uint32_t probes) {
+    d.probes = static_cast<std::uint8_t>(probes > 255 ? 255 : probes);
+    stats_.probes += probes;
+    if (probes > stats_.max_probes) stats_.max_probes = probes;
+  }
+
+  Config config_;
+  std::vector<Category> categories_;
+  std::vector<TrieNode> nodes_;
+  std::vector<PrefixRule> rules_;
+  Stats stats_;
+};
+
+/// Canonical synthetic 5-tuple for a (tenant, stream) pair — how the
+/// simulation substrate (benches, demux key extraction, tests) maps its
+/// identifiers onto wire-shaped keys. Tenant rides the 10.x second octet,
+/// stream spreads across the low address bits and the source port, so up to
+/// 2^20 streams per tenant stay collision-free.
+[[nodiscard]] inline FlowKey flow_key_of(TenantId tenant,
+                                         dwcs::StreamId stream) {
+  FlowKey k;
+  k.src_ip = 0x0A00'0000u | ((tenant & 0xFFu) << 16) | (stream >> 16);
+  k.dst_ip = 0xC0A8'0001u;
+  k.src_port = static_cast<std::uint16_t>(stream & 0xFFFF);
+  k.dst_port = 5004;
+  k.proto = 17;
+  return k;
+}
+
+/// The /16 prefix flow_key_of puts all of one tenant's traffic under.
+[[nodiscard]] inline std::uint32_t tenant_prefix_of(TenantId tenant) {
+  return 0x0A00'0000u | ((tenant & 0xFFu) << 16);
+}
+
+}  // namespace nistream::ingress

@@ -38,6 +38,9 @@ class RtspChurnClient {
   struct Config {
     Behavior behavior = Behavior::kPolite;
     sim::Time arrival = sim::Time::zero();  // when this client SETUPs
+    /// Request URI; a tenant-aware server reads the first path segment as
+    /// the tenant name ("rtsp://ni/acme/movie" → tenant "acme").
+    std::string uri = "rtsp://ni/stream";
     std::uint64_t frames = 8;
     sim::Time period = sim::Time::ms(33);
     dwcs::WindowConstraint tolerance{1, 4};
@@ -140,6 +143,7 @@ class RtspChurnClient {
 
     RtspRequest setup;
     setup.method = Method::kSetup;
+    setup.uri = config_.uri;
     setup.rtp_port = media_.port();
     setup.rtcp_port = rtcp_port_;
     setup.tolerance = config_.tolerance;

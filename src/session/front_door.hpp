@@ -31,6 +31,7 @@
 #include "dwcs/admission.hpp"
 #include "dwcs/monitor.hpp"
 #include "hw/ethernet.hpp"
+#include "ingress/tenant.hpp"
 #include "net/tcplite.hpp"
 #include "net/udp.hpp"
 #include "path/frame_path.hpp"
@@ -62,6 +63,19 @@ class RtspFrontDoor {
     /// reservation released) — half-open teardowns must not leak admission.
     sim::Time idle_timeout = sim::Time::sec(2);
     sim::Time reap_interval = sim::Time::ms(250);
+    /// Storm-adaptive reaping: when more than this many sessions sit idle
+    /// (non-playing) at once — a connection storm of half-open SETUPs — the
+    /// effective idle timeout shrinks proportionally so the admission pool
+    /// drains at storm speed instead of leaking for a full idle_timeout.
+    /// 0 disables adaptation. Floor below.
+    std::size_t reap_storm_threshold = 256;
+    sim::Time min_idle_timeout = sim::Time::ms(100);
+    /// Optional multi-tenant directory. When set, SETUP resolves the tenant
+    /// from the request URI's first path segment, enforces that tenant's
+    /// admission share on top of the global controller, and keys the
+    /// violation monitor by (tenant, stream) so per-tenant QoS is separable.
+    /// Null keeps the single-tenant behaviour (scope 0 everywhere).
+    ingress::TenantDirectory* tenants = nullptr;
     /// Response channel back to each client: bounded retransmit so a
     /// vanished client cannot pin a response sender forever.
     net::TcpLiteSenderParams response_params{
@@ -72,7 +86,8 @@ class RtspFrontDoor {
     std::uint64_t requests = 0;
     std::uint64_t bad_requests = 0;       // 400s
     std::uint64_t setups_ok = 0;
-    std::uint64_t rejected_453 = 0;       // admission denials
+    std::uint64_t rejected_453 = 0;       // admission denials (all causes)
+    std::uint64_t tenant_rejected_453 = 0;  // of those: tenant budget denials
     std::uint64_t plays = 0;              // cold PLAY (pump started)
     std::uint64_t resumes = 0;            // PLAY on a paused session
     std::uint64_t pauses = 0;
@@ -121,6 +136,27 @@ class RtspFrontDoor {
   }
   [[nodiscard]] const net::TcpLiteReceiver& control_rx() const {
     return ctl_rx_;
+  }
+
+  /// Idle timeout the reaper applies when `idle_depth` sessions sit
+  /// non-playing at once. At or below the storm threshold it is the
+  /// configured idle_timeout; past it the timeout shrinks in proportion to
+  /// the overload (2x the threshold of half-open sessions → half the
+  /// timeout), floored at min_idle_timeout so a brief legitimate pause is
+  /// never collected instantly. Exposed for the storm-then-reap test.
+  [[nodiscard]] sim::Time effective_idle_timeout(std::size_t idle_depth) const {
+    if (config_.reap_storm_threshold == 0 ||
+        idle_depth <= config_.reap_storm_threshold) {
+      return config_.idle_timeout;
+    }
+    const double scaled =
+        config_.idle_timeout.to_us() *
+        static_cast<double>(config_.reap_storm_threshold) /
+        static_cast<double>(idle_depth);
+    sim::Time floor = config_.min_idle_timeout;
+    if (config_.idle_timeout < floor) floor = config_.idle_timeout;
+    const sim::Time eff = sim::Time::us(scaled);
+    return eff < floor ? floor : eff;
   }
 
  private:
@@ -222,16 +258,36 @@ class RtspFrontDoor {
         .tolerance = req.tolerance,
         .period = req.period,
         .mean_frame_bytes = req.frame_bytes + path::kRtpHeaderBytes};
+    // Tenant budget first: a tenant over its share is denied even while the
+    // NI as a whole has headroom — that is the flood-isolation contract.
+    ingress::TenantId tid = 0;
+    if (config_.tenants != nullptr) {
+      tid = config_.tenants->resolve(ingress::tenant_from_uri(req.uri));
+      if (!config_.tenants->would_admit(tid, admission_.link_load(adm),
+                                        admission_.cpu_load(adm),
+                                        admission_.headroom())) {
+        config_.tenants->note_rejected(tid);
+        ++stats_.rejected_453;
+        ++stats_.tenant_rejected_453;
+        respond(peer, RtspResponse{.status = 453, .cseq = req.cseq});
+        return;
+      }
+    }
     if (!admission_.admit(adm)) {
       ++stats_.rejected_453;
       respond(peer, RtspResponse{.status = 453, .cseq = req.cseq});
       return;
+    }
+    if (config_.tenants != nullptr) {
+      config_.tenants->reserve(tid, admission_.link_load(adm),
+                               admission_.cpu_load(adm));
     }
     const std::uint64_t sid =
         make_session_id(config_.incarnation, ++session_counter_);
     Session s;
     s.id = sid;
     s.ctl_peer = peer;
+    s.tenant = tid;
     s.adm = adm;
     s.rtp_port = req.rtp_port;
     s.rtcp_port = req.rtcp_port;
@@ -243,8 +299,11 @@ class RtspFrontDoor {
         dwcs::StreamParams{
             .tolerance = req.tolerance, .period = req.period, .lossy = true},
         req.rtp_port);
+    if (config_.tenants != nullptr) {
+      config_.tenants->bind_stream(s.stream, tid);
+    }
     if (monitor_ != nullptr) {
-      monitor_->add_stream({0, s.stream}, req.tolerance);
+      monitor_->add_stream({tid, s.stream}, req.tolerance);
     }
     conns_[peer].sessions.push_back(sid);
     sessions_.emplace(sid, s);
@@ -422,10 +481,14 @@ class RtspFrontDoor {
     Session& s = it->second;
     if (s.pump_id != 0) pumps_.at(s.pump_id)->gate.stop();
     admission_.release(s.adm);
+    if (config_.tenants != nullptr) {
+      config_.tenants->release(s.tenant, admission_.link_load(s.adm),
+                               admission_.cpu_load(s.adm));
+    }
     // Retire BEFORE purging: the frames the purge drops (and any final
     // in-flight frame the stopping pump still enqueues) were abandoned by
     // the closing client — they are churn cost, not a scheduling miss.
-    if (monitor_ != nullptr) monitor_->retire({0, s.stream});
+    if (monitor_ != nullptr) monitor_->retire({s.tenant, s.stream});
     service_.scheduler().purge_stream(s.stream);
     auto cit = conns_.find(s.ctl_peer);
     if (cit != conns_.end()) {
@@ -436,14 +499,22 @@ class RtspFrontDoor {
 
   /// Collect sessions that are not playing and have been silent past the
   /// idle timeout: half-open clients (vanished after SETUP or after their
-  /// media finished) must not hold admission share forever.
+  /// media finished) must not hold admission share forever. The threshold
+  /// adapts to storm depth: a SYN-flood of half-open SETUPs shows up as a
+  /// deep idle population, and the deeper it is, the faster each member
+  /// times out (effective_idle_timeout above).
   sim::Coro reaper() {
     for (;;) {
       co_await sim::Delay{engine_, config_.reap_interval};
+      std::size_t idle_depth = 0;
+      for (const auto& [sid, s] : sessions_) {
+        idle_depth += s.state != SessionState::kPlaying;
+      }
+      const sim::Time timeout = effective_idle_timeout(idle_depth);
       reap_scratch_.clear();
       for (const auto& [sid, s] : sessions_) {
         if (s.state == SessionState::kPlaying) continue;
-        if (engine_.now() - s.last_activity >= config_.idle_timeout) {
+        if (engine_.now() - s.last_activity >= timeout) {
           reap_scratch_.push_back(sid);
         }
       }

@@ -14,6 +14,7 @@
 #include "hw/calibration.hpp"
 #include "hw/cpu.hpp"
 #include "hw/ethernet.hpp"
+#include "ingress/tenant.hpp"
 #include "net/udp.hpp"
 #include "rtos/wind.hpp"
 #include "session/front_door.hpp"
@@ -35,6 +36,11 @@ class SessionServer {
     double admission_headroom = 0.90;
     int dispatch_priority = 50;  // most urgent: dispatches hold deadlines
     RtspFrontDoor::Config door{};
+    /// Named tenants with their admission shares. Empty keeps the server
+    /// single-tenant (every URI resolves to the default tenant, scope 0).
+    /// Non-empty turns on per-tenant budgets and (tenant, stream) monitor
+    /// keying via the front door's TenantDirectory hook.
+    std::vector<std::pair<std::string, ingress::TenantBudget>> tenants;
   };
 
   /// Deadline-from-completion keeps a backlogged ring from accumulating
@@ -66,11 +72,13 @@ class SessionServer {
                    config_.per_frame_cpu, config_.admission_headroom},
         dispatch_task_{kernel_.spawn("dwcs-dispatch",
                                      config_.dispatch_priority)},
-        door_{engine, ether,    kernel_,    service_,
-              rtp_out_, admission_, &monitor_, config_.door} {
+        tenants_{config_.tenants},
+        door_{engine,   ether,      kernel_,   service_,
+              rtp_out_, admission_, &monitor_, door_config()} {
     service_.set_dispatch_observer(
         [this](dwcs::StreamId id, const dwcs::Dispatch& d) {
-          const dwcs::WindowViolationMonitor::StreamKey key{0, id};
+          const dwcs::WindowViolationMonitor::StreamKey key{
+              tenants_.scope_of(id), id};
           if (monitor_.known(key)) {
             monitor_.record(key,
                             d.late
@@ -81,7 +89,8 @@ class SessionServer {
         });
     service_.set_drop_observer(
         [this](dwcs::StreamId id, const dwcs::FrameDescriptor&) {
-          const dwcs::WindowViolationMonitor::StreamKey key{0, id};
+          const dwcs::WindowViolationMonitor::StreamKey key{
+              tenants_.scope_of(id), id};
           if (monitor_.known(key)) {
             monitor_.record(key,
                             dwcs::WindowViolationMonitor::Outcome::kDropped);
@@ -97,9 +106,20 @@ class SessionServer {
   [[nodiscard]] dvcm::StreamService& service() { return service_; }
   [[nodiscard]] dwcs::AdmissionController& admission() { return admission_; }
   [[nodiscard]] dwcs::WindowViolationMonitor& monitor() { return monitor_; }
+  [[nodiscard]] ingress::TenantDirectory& tenants() { return tenants_; }
+  [[nodiscard]] rtos::WindKernel& kernel() { return kernel_; }
   [[nodiscard]] int control_port() const { return door_.control_port(); }
 
  private:
+  /// The front door sees the tenant directory only when tenants were
+  /// configured, so a single-tenant server keeps the exact legacy SETUP
+  /// path (and its stats) bit for bit.
+  [[nodiscard]] RtspFrontDoor::Config door_config() {
+    RtspFrontDoor::Config c = config_.door;
+    if (!config_.tenants.empty()) c.tenants = &tenants_;
+    return c;
+  }
+
   sim::Engine& engine_;
   Config config_;
   hw::CpuModel cpu_;
@@ -109,6 +129,7 @@ class SessionServer {
   dwcs::AdmissionController admission_;
   dwcs::WindowViolationMonitor monitor_;
   rtos::Task& dispatch_task_;
+  ingress::TenantDirectory tenants_;
   RtspFrontDoor door_;
 };
 

@@ -30,6 +30,7 @@ struct Session {
   bool paused = false;       // kReady via PAUSE (resumable pump parked)
   bool ever_played = false;  // distinguishes PAUSE-before-PLAY (455)
   dwcs::StreamId stream = dwcs::kInvalidStream;
+  std::uint32_t tenant = 0;  // ingress tenant scope (0 = default tenant)
   dwcs::AdmissionController::Request adm{};  // reservation to release
   int rtp_port = -1;
   int rtcp_port = -1;

@@ -85,5 +85,71 @@ TEST(Monitor, ViolationRate) {
   EXPECT_DOUBLE_EQ(m.violation_rate(0), 2.0 / 3.0);
 }
 
+// Pinned goldens for the per-scope aggregates across three concurrent
+// scopes — the numbers the tenant-isolation chaos gate compares. All rates
+// are hand-computed from the outcome sequences below.
+TEST(Monitor, PerScopeRatesAcrossThreeScopes) {
+  using Key = WindowViolationMonitor::StreamKey;
+  WindowViolationMonitor m;
+  // Scope 1: one collapsed stream, one clean stream, both 1/2.
+  m.add_stream(Key{1, 0}, {1, 2});
+  m.add_stream(Key{1, 1}, {1, 2});
+  for (int i = 0; i < 4; ++i) m.record(Key{1, 0}, Outcome::kDropped);
+  for (int i = 0; i < 4; ++i) m.record(Key{1, 1}, Outcome::kOnTime);
+  // Scope 2: 1/4 stream with a lone leading loss — never violates.
+  m.add_stream(Key{2, 0}, {1, 4});
+  m.record(Key{2, 0}, Outcome::kDropped);
+  for (int i = 0; i < 4; ++i) m.record(Key{2, 0}, Outcome::kOnTime);
+  // Scope 3: zero-tolerance 0/2 stream with one mid-sequence loss.
+  m.add_stream(Key{3, 5}, {0, 2});
+  m.record(Key{3, 5}, Outcome::kOnTime);
+  m.record(Key{3, 5}, Outcome::kLate);
+  m.record(Key{3, 5}, Outcome::kOnTime);
+
+  // Scope 1: stream 0 violates all 3 of its window positions, stream 1 none
+  // of its 3 → max 1.0, aggregate 3/6, one violating stream.
+  EXPECT_DOUBLE_EQ(m.scope_max_violation_rate(1), 1.0);
+  EXPECT_DOUBLE_EQ(m.scope_aggregate_violation_rate(1), 3.0 / 6.0);
+  EXPECT_EQ(m.scope_violating_streams(1), 1u);
+  // Scope 2: 2 positions, 0 violations.
+  EXPECT_DOUBLE_EQ(m.scope_max_violation_rate(2), 0.0);
+  EXPECT_DOUBLE_EQ(m.scope_aggregate_violation_rate(2), 0.0);
+  EXPECT_EQ(m.scope_violating_streams(2), 0u);
+  // Scope 3: both full windows contain the loss → 2/2.
+  EXPECT_DOUBLE_EQ(m.scope_max_violation_rate(3), 1.0);
+  EXPECT_DOUBLE_EQ(m.scope_aggregate_violation_rate(3), 1.0);
+  EXPECT_EQ(m.scope_violating_streams(3), 1u);
+  // An untouched scope reads as clean, not as an error.
+  EXPECT_DOUBLE_EQ(m.scope_max_violation_rate(9), 0.0);
+  EXPECT_EQ(m.scope_violating_streams(9), 0u);
+  // Global aggregates span every scope: (3+0+2) / (6+2+2).
+  EXPECT_DOUBLE_EQ(m.aggregate_violation_rate(), 5.0 / 10.0);
+  EXPECT_DOUBLE_EQ(m.max_violation_rate(), 1.0);
+}
+
+// Retire-before-purge ordering: once a placement is retired, the purge's
+// drop storm must not move its scope's rates — the golden the session
+// plane's close_session sequence (retire, then purge_stream) relies on.
+TEST(Monitor, RetireFreezesScopeRatesBeforePurge) {
+  using Key = WindowViolationMonitor::StreamKey;
+  WindowViolationMonitor m;
+  m.add_stream(Key{1, 0}, {1, 2});
+  m.record(Key{1, 0}, Outcome::kOnTime);
+  m.record(Key{1, 0}, Outcome::kOnTime);
+  m.record(Key{1, 0}, Outcome::kOnTime);  // 2 clean positions
+  m.retire(Key{1, 0});
+  // The purge's abandoned frames arrive as drops — all ignored.
+  for (int i = 0; i < 8; ++i) m.record(Key{1, 0}, Outcome::kDropped);
+  EXPECT_EQ(m.packets(Key{1, 0}), 3u);
+  EXPECT_DOUBLE_EQ(m.scope_max_violation_rate(1), 0.0);
+  EXPECT_DOUBLE_EQ(m.scope_aggregate_violation_rate(1), 0.0);
+  // A sibling placement in the same scope keeps accruing normally.
+  m.add_stream(Key{1, 1}, {0, 2});
+  m.record(Key{1, 1}, Outcome::kDropped);
+  m.record(Key{1, 1}, Outcome::kDropped);
+  EXPECT_DOUBLE_EQ(m.scope_max_violation_rate(1), 1.0);
+  EXPECT_DOUBLE_EQ(m.scope_aggregate_violation_rate(1), 1.0 / 3.0);
+}
+
 }  // namespace
 }  // namespace nistream::dwcs

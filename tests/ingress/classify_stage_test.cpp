@@ -1,0 +1,162 @@
+// ClassifyStage composition into FramePath (tiling, tenant stamping, stream
+// rebinding, cycle charging) and IngressDemux verdict routing off the wire.
+#include "ingress/classify_stage.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hw/calibration.hpp"
+#include "ingress/demux.hpp"
+#include "path/frame_path.hpp"
+
+namespace nistream::ingress {
+namespace {
+
+using sim::Time;
+
+struct StageRig {
+  sim::Engine eng;
+  hw::CpuModel cpu{hw::kI960Rd};
+  rtos::WindKernel kernel{eng, cpu};
+  rtos::Task& task{kernel.spawn("tClassify", 100)};
+  FlowTable table;
+};
+
+TEST(ClassifyStage, StampsTenantAndRebindsStream) {
+  StageRig rig;
+  const auto cat = rig.table.add_category(kMatchFullTuple, 8);
+  ASSERT_TRUE(rig.table.insert(cat, flow_key_of(2, 7), 2, 7));
+
+  path::FramePath p{rig.eng, "classify"};
+  p.stage<ClassifyStage<rtos::Task>>(rig.task, rig.table);
+  path::StagedFrame f;
+  f.tenant = 2;
+  f.stream = 7;  // claimed identity renders to the installed key
+  auto run = [&]() -> sim::Coro { co_await p.run_frame(f, nullptr); };
+  run().detach();
+  rig.eng.run();
+
+  ASSERT_EQ(f.stage_count, 1u);
+  EXPECT_GT(f.samples[0].duration(), Time::zero());  // cycles were charged
+  EXPECT_EQ(f.tenant, 2u);
+  EXPECT_EQ(f.stream, 7u);
+  const auto* stage =
+      dynamic_cast<const ClassifyStage<rtos::Task>*>(&p.stage_at(0));
+  ASSERT_NE(stage, nullptr);
+  EXPECT_EQ(stage->stats().classified, 1u);
+  EXPECT_EQ(stage->stats().unbound, 0u);
+}
+
+TEST(ClassifyStage, UnmatchedFrameIsUnboundNotRebound) {
+  StageRig rig;
+  rig.table.add_category(kMatchFullTuple, 8);  // empty table
+
+  path::FramePath p{rig.eng, "classify"};
+  p.stage<ClassifyStage<rtos::Task>>(rig.task, rig.table);
+  path::StagedFrame f;
+  f.tenant = 5;
+  f.stream = 123;
+  auto run = [&]() -> sim::Coro { co_await p.run_frame(f, nullptr); };
+  run().detach();
+  rig.eng.run();
+
+  EXPECT_EQ(f.stream, 123u);  // miss never rebinds
+  EXPECT_EQ(f.tenant, 0u);    // miss decision carries the default tenant
+  const auto* stage =
+      dynamic_cast<const ClassifyStage<rtos::Task>*>(&p.stage_at(0));
+  ASSERT_NE(stage, nullptr);
+  EXPECT_EQ(stage->stats().unbound, 1u);
+}
+
+TEST(ClassifyStage, TilingHoldsWithClassifyInThePipeline) {
+  StageRig rig;
+  const auto cat = rig.table.add_category(kMatchFullTuple, 8);
+  ASSERT_TRUE(rig.table.insert(cat, flow_key_of(1, 3), 1, 3));
+
+  path::FramePath p{rig.eng, "classify+seg"};
+  p.stage<ClassifyStage<rtos::Task>>(rig.task, rig.table)
+      .stage<path::SegmentStage<rtos::Task>>(rig.task, 900);
+  path::StagedFrame f;
+  f.tenant = 1;
+  f.stream = 3;
+  f.bytes = 1000;
+  auto run = [&]() -> sim::Coro { co_await p.run_frame(f, nullptr); };
+  run().detach();
+  rig.eng.run();
+
+  ASSERT_EQ(f.stage_count, 2u);
+  EXPECT_EQ(f.samples[0].start, f.created_at);
+  EXPECT_EQ(f.samples[0].end, f.samples[1].start);
+  EXPECT_EQ(f.samples[1].end, f.completed_at);
+  EXPECT_EQ(f.staged_total(), f.completed_at - f.created_at);
+}
+
+struct DemuxRig {
+  sim::Engine eng;
+  hw::Calibration cal;
+  hw::EthernetSwitch ether{eng, cal.ethernet};
+  hw::CpuModel cpu{hw::kI960Rd};
+  rtos::WindKernel kernel{eng, cpu, cal.rtos};
+  dvcm::StreamService svc{eng, {}, cpu, cal.ni_int, cal.ni_softfp, nullptr};
+  FlowTable table;
+  IngressDemux demux{eng, ether, kernel, table, svc};
+  net::UdpEndpoint tx{eng, ether, net::kHostStackCost,
+                      net::UdpEndpoint::Receiver{}};
+
+  void send(TenantId tenant, dwcs::StreamId stream, std::uint32_t bytes) {
+    net::Packet p;
+    p.stream_id = pack_flow(tenant, stream);
+    p.bytes = bytes;
+    tx.send(demux.port(), p);
+  }
+};
+
+TEST(IngressDemux, ExactMatchDeliversToTheRing) {
+  DemuxRig rig;
+  const auto cat = rig.table.add_category(kMatchFullTuple, 8);
+  const auto id = rig.svc.create_stream(
+      {.tolerance = {1, 4}, .period = Time::ms(10), .lossy = true}, 0);
+  ASSERT_TRUE(rig.table.insert(cat, flow_key_of(1, id), 1, id));
+
+  rig.send(1, id, 500);
+  rig.send(1, id, 500);
+  rig.eng.run();
+
+  EXPECT_EQ(rig.demux.stats().received, 2u);
+  EXPECT_EQ(rig.demux.stats().delivered, 2u);
+  EXPECT_EQ(rig.demux.tenant_counters(1).delivered, 2u);
+  EXPECT_EQ(rig.svc.scheduler().backlog(id), 2u);
+}
+
+TEST(IngressDemux, PrefixFloodIsAttributedAndDropped) {
+  DemuxRig rig;
+  rig.table.add_category(kMatchFullTuple, 8);
+  ASSERT_TRUE(rig.table.insert_prefix(tenant_prefix_of(2), 16, 2));
+
+  for (int i = 0; i < 5; ++i) rig.send(2, 1000 + i, 100);
+  rig.send(7, 0, 100);  // nobody's address block
+  rig.eng.run();
+
+  EXPECT_EQ(rig.demux.stats().dropped_attributed, 5u);
+  EXPECT_EQ(rig.demux.stats().dropped_unmatched, 1u);
+  EXPECT_EQ(rig.demux.stats().delivered, 0u);
+  EXPECT_EQ(rig.demux.tenant_counters(2).dropped, 5u);
+}
+
+TEST(IngressDemux, DropRuleQuarantinesOneFlow) {
+  DemuxRig rig;
+  const auto cat = rig.table.add_category(kMatchFullTuple, 8);
+  const auto id = rig.svc.create_stream(
+      {.tolerance = {1, 4}, .period = Time::ms(10), .lossy = true}, 0);
+  ASSERT_TRUE(rig.table.insert(cat, flow_key_of(1, id), 1, id,
+                               /*drop=*/true));
+
+  rig.send(1, id, 100);
+  rig.eng.run();
+
+  EXPECT_EQ(rig.demux.stats().dropped_rule, 1u);
+  EXPECT_EQ(rig.demux.stats().delivered, 0u);
+  EXPECT_EQ(rig.svc.scheduler().backlog(id), 0u);
+}
+
+}  // namespace
+}  // namespace nistream::ingress

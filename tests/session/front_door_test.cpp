@@ -341,5 +341,58 @@ TEST(FrontDoor, SlowStartClientCompletes) {
   EXPECT_EQ(rig.media.frames_received(client->stream()), 5u);
 }
 
+TEST(FrontDoor, StormDepthShrinksTheIdleTimeout) {
+  auto cfg = Rig::fast_config();  // idle 300ms, reap every 100ms
+  cfg.door.reap_storm_threshold = 4;
+  cfg.door.min_idle_timeout = Time::ms(50);
+  Rig rig{cfg};
+
+  // The adaptation curve itself: proportional past the threshold, floored.
+  EXPECT_EQ(rig.server->door().effective_idle_timeout(0), Time::ms(300));
+  EXPECT_EQ(rig.server->door().effective_idle_timeout(4), Time::ms(300));
+  EXPECT_EQ(rig.server->door().effective_idle_timeout(16), Time::ms(75));
+  EXPECT_EQ(rig.server->door().effective_idle_timeout(1'000'000),
+            Time::ms(50));
+
+  // A connection storm: 16 SETUPs whose clients never PLAY and never close.
+  Ctl ctl{rig.eng, rig.ether, rig.server->control_port()};
+  for (int i = 0; i < 16; ++i) {
+    auto setup = rig.setup_request(10);
+    setup.cseq = static_cast<std::uint64_t>(i + 1);
+    setup.rtp_port = rig.media.port();
+    ctl.send(setup);
+  }
+  rig.eng.run_until(Time::ms(50));
+  ASSERT_EQ(rig.server->door().live_sessions(), 16u);
+  ASSERT_EQ(rig.server->admission().admitted(), 16u);
+
+  // At depth 16 the effective timeout is 75ms, so the storm is collected
+  // well before the base 300ms idle timeout would have fired.
+  rig.eng.run_until(Time::ms(250));
+  EXPECT_EQ(rig.server->door().live_sessions(), 0u);
+  EXPECT_EQ(rig.server->door().stats().reaped_idle, 16u);
+  EXPECT_EQ(rig.server->admission().admitted(), 0u);
+}
+
+TEST(FrontDoor, ShallowIdlePoolKeepsTheBaseTimeout) {
+  auto cfg = Rig::fast_config();
+  cfg.door.reap_storm_threshold = 4;
+  Rig rig{cfg};
+  Ctl ctl{rig.eng, rig.ether, rig.server->control_port()};
+  // Two idle sessions: at or below the threshold, nothing shrinks — they
+  // survive past where the storm case was already swept.
+  for (int i = 0; i < 2; ++i) {
+    auto setup = rig.setup_request(10);
+    setup.cseq = static_cast<std::uint64_t>(i + 1);
+    setup.rtp_port = rig.media.port();
+    ctl.send(setup);
+  }
+  rig.eng.run_until(Time::ms(250));
+  EXPECT_EQ(rig.server->door().live_sessions(), 2u);
+  rig.eng.run_until(Time::ms(500));  // base 300ms timeout does fire
+  EXPECT_EQ(rig.server->door().live_sessions(), 0u);
+  EXPECT_EQ(rig.server->door().stats().reaped_idle, 2u);
+}
+
 }  // namespace
 }  // namespace nistream::session
