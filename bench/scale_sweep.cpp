@@ -36,16 +36,20 @@
 // results are emitted in grid order regardless). NOTE: parallel cells
 // contend for cores, so publication-grade wall-clock numbers should use
 // `--jobs 1`. `--smoke` shrinks the grid and budgets for CI gate runs.
+// `--repr=<list>` selects the scheduler-family representations (default all
+// six flat kinds including `pifo`, the DWCS-ranked PIFO engine; the
+// hierarchical repr is swept separately via `--shards`).
 //
 // `--identity` switches to the CI decision-identity contract instead of a
-// timed sweep: dual-heap and hierarchical (each `--shards` value) each take
-// the SAME fixed number of decisions at `--streams=N` (default 100k) from
-// identically seeded workloads, and the binary exits non-zero unless every
-// hierarchical row dispatched the exact same stream sequence (count + FNV
-// hash) as the dual-heap reference. This is the machine-checked form of the
-// total-order argument: rules 1-5 end at "lowest stream id", so the full
-// DWCS order has no ties, and a min over per-shard minima equals the global
-// min for ANY shard count.
+// timed sweep: dual-heap, the PIFO rank engine (DWCS rank), and hierarchical
+// (each `--shards` value) each take the SAME fixed number of decisions at
+// `--streams=N` (default 100k) from identically seeded workloads, and the
+// binary exits non-zero unless every row dispatched the exact same stream
+// sequence (count + FNV hash) as the dual-heap reference. This is the
+// machine-checked form of the total-order argument: rules 1-5 end at
+// "lowest stream id", so the full DWCS order has no ties — one rank
+// function, one order, whatever structure holds it (dual heap, PIFO heap,
+// min over per-shard minima at any shard count).
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
@@ -618,12 +622,16 @@ IdentityRow run_identity_cell(dwcs::ReprKind kind, std::uint32_t shards,
 int run_identity(const std::vector<std::uint32_t>& shard_list, std::size_t n,
                  std::uint64_t seed, std::uint64_t budget,
                  const std::string& out_path, unsigned jobs) {
-  std::vector<IdentityRow> rows(1 + shard_list.size());
+  // Row 0 is the dual-heap reference, row 1 the flat PIFO rank engine under
+  // the DWCS rank, then hierarchical at every shard count.
+  std::vector<IdentityRow> rows(2 + shard_list.size());
   bench::run_cells(rows.size(), jobs, [&](std::size_t i) {
-    rows[i] = i == 0 ? run_identity_cell(dwcs::ReprKind::kDualHeap, 0, n, seed,
-                                         budget)
-                     : run_identity_cell(dwcs::ReprKind::kHierarchical,
-                                         shard_list[i - 1], n, seed, budget);
+    rows[i] = i == 0   ? run_identity_cell(dwcs::ReprKind::kDualHeap, 0, n,
+                                           seed, budget)
+              : i == 1 ? run_identity_cell(dwcs::ReprKind::kPifo, 0, n, seed,
+                                           budget)
+                       : run_identity_cell(dwcs::ReprKind::kHierarchical,
+                                           shard_list[i - 2], n, seed, budget);
   });
 
   std::printf("==== scale sweep --identity: %zu streams, %llu decisions "
@@ -664,6 +672,43 @@ int run_identity(const std::vector<std::uint32_t>& shard_list, std::size_t n,
   return ok ? 0 : 1;
 }
 
+/// `--repr=dual-heap,pifo,...`: the flat representations to sweep. The
+/// hierarchical repr has its own shard axis and is always appended via
+/// `--shards`; naming it here is an error, as is any unknown token.
+std::vector<dwcs::ReprKind> repr_flag(int argc, char** argv) {
+  static constexpr std::pair<const char*, dwcs::ReprKind> kKnown[] = {
+      {"dual-heap", dwcs::ReprKind::kDualHeap},
+      {"single-heap", dwcs::ReprKind::kSingleHeap},
+      {"sorted-list", dwcs::ReprKind::kSortedList},
+      {"fcfs", dwcs::ReprKind::kFcfs},
+      {"calendar-queue", dwcs::ReprKind::kCalendarQueue},
+      {"pifo", dwcs::ReprKind::kPifo},
+  };
+  std::vector<dwcs::ReprKind> out;
+  for (const std::string& tok : bench::flag_str_list(
+           argc, argv, "repr",
+           "dual-heap,single-heap,sorted-list,fcfs,calendar-queue,pifo")) {
+    bool found = false;
+    for (const auto& [name, kind] : kKnown) {
+      if (tok == name) {
+        out.push_back(kind);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      std::fprintf(stderr,
+                   "bad --repr entry: '%s' (known: dual-heap, single-heap, "
+                   "sorted-list, fcfs, calendar-queue, pifo; hierarchical is "
+                   "swept via --shards)\n",
+                   tok.c_str());
+      std::exit(2);
+    }
+  }
+  if (out.empty()) out.push_back(dwcs::ReprKind::kDualHeap);
+  return out;
+}
+
 /// `--shards` via the shared list parser; zero entries clamp to 1 (a 0-shard
 /// hierarchical scheduler is meaningless) and an empty list means 1.
 std::vector<std::uint32_t> shard_flag(int argc, char** argv) {
@@ -702,10 +747,7 @@ int main(int argc, char** argv) {
             : std::vector<std::size_t>{1'000, 10'000, 100'000, 1'000'000};
   const double throughput_budget = smoke ? 0.02 : 0.25;
   const double latency_budget = smoke ? 0.02 : 0.15;
-  const std::vector<dwcs::ReprKind> kinds{
-      dwcs::ReprKind::kDualHeap, dwcs::ReprKind::kSingleHeap,
-      dwcs::ReprKind::kSortedList, dwcs::ReprKind::kFcfs,
-      dwcs::ReprKind::kCalendarQueue};
+  const std::vector<dwcs::ReprKind> kinds = repr_flag(argc, argv);
 
   struct ReprCell {
     dwcs::ReprKind kind;

@@ -4,16 +4,34 @@
 
 namespace nistream::dwcs {
 
+// The StreamTable base stores only the address of views_, valid before the
+// member is constructed; no element is read until streams exist.
+BaselineScheduler::BaselineScheduler(std::size_t ring_capacity)
+    : StreamTable{views_},
+      ring_capacity_{ring_capacity},
+      comparator_{ArithMode::kFixedPoint, null_cost_hook()} {}
+
+BaselineScheduler::BaselineScheduler(PolicyKind policy,
+                                     std::size_t ring_capacity)
+    : StreamTable{views_},
+      ring_capacity_{ring_capacity},
+      comparator_{ArithMode::kFixedPoint, null_cost_hook()},
+      repr_{make_repr(ReprKind::kPifo, *this, comparator_, null_cost_hook(),
+                      /*heap_base=*/0x0380'0000, {}, policy)} {}
+
 StreamId BaselineScheduler::create_stream(const StreamParams& params,
                                           sim::Time now) {
   const auto id = static_cast<StreamId>(streams_.size());
   StreamState s;
   s.params = params;
-  s.next_deadline = now + params.period;
   s.ring = std::make_unique<FrameRing>(
       ring_capacity_, DescriptorResidency::kPinnedMemory,
       0x0300'0000 + static_cast<SimAddr>(id) * 0x10000, null_cost_hook());
+  StreamView v;
+  v.current = params.tolerance;  // static for baselines: no window adjustments
+  v.next_deadline = now + params.period;
   streams_.push_back(std::move(s));
+  views_.push_back(v);
   return id;
 }
 
@@ -24,21 +42,46 @@ bool BaselineScheduler::enqueue(StreamId id, const FrameDescriptor& frame,
   const bool was_empty = s.ring->empty();
   if (!s.ring->push(frame)) return false;
   ++s.stats.enqueued;
-  if (was_empty && s.next_deadline < now) {
-    s.next_deadline = now + s.params.period;  // restart after idle
+  if (was_empty) {
+    StreamView& v = views_[id];
+    v.head_enqueued_at = frame.enqueued_at;
+    if (v.next_deadline < now) {
+      v.next_deadline = now + s.params.period;  // restart after idle
+    }
+    s.has_backlog = true;
+    if (repr_) repr_->insert(id);
   }
   return true;
 }
 
 void BaselineScheduler::drop_late_lossy(sim::Time now) {
-  for (auto& s : streams_) {
+  for (StreamId id = 0; id < streams_.size(); ++id) {
+    StreamState& s = streams_[id];
     if (!s.params.lossy) continue;
-    while (!s.ring->empty() && s.next_deadline < now) {
+    StreamView& v = views_[id];
+    bool mutated = false;
+    while (!s.ring->empty() && v.next_deadline < now) {
       s.ring->pop();
       ++s.stats.dropped;
-      s.next_deadline += s.params.period;
+      v.next_deadline += s.params.period;
+      mutated = true;
+    }
+    if (!mutated) continue;
+    if (s.ring->empty()) {
+      s.has_backlog = false;
+      if (repr_) repr_->remove(id);
+    } else {
+      if (const auto head = s.ring->front()) {
+        v.head_enqueued_at = head->enqueued_at;
+      }
+      if (repr_) repr_->update(id);
     }
   }
+}
+
+std::optional<StreamId> BaselineScheduler::pick(sim::Time) {
+  assert(repr_ && "engine-less baselines must override pick()");
+  return repr_->pick();
 }
 
 std::optional<Dispatch> BaselineScheduler::schedule_next(sim::Time now) {
@@ -46,40 +89,34 @@ std::optional<Dispatch> BaselineScheduler::schedule_next(sim::Time now) {
   const auto sid = pick(now);
   if (!sid) return std::nullopt;
   StreamState& s = streams_[*sid];
+  StreamView& v = views_[*sid];
   const auto head = s.ring->front();
   assert(head.has_value());
   s.ring->pop();
+  if (repr_) repr_->on_charge(*sid);
 
   Dispatch d;
   d.stream = *sid;
   d.frame = *head;
-  d.deadline = s.next_deadline;
-  d.late = s.next_deadline < now;
+  d.deadline = v.next_deadline;
+  d.late = v.next_deadline < now;
   if (d.late) {
     ++s.stats.serviced_late;
   } else {
     ++s.stats.serviced_on_time;
   }
   s.stats.bytes_sent += head->bytes;
-  s.next_deadline += s.params.period;
+  v.next_deadline += s.params.period;
+  if (s.ring->empty()) {
+    s.has_backlog = false;
+    if (repr_) repr_->remove(*sid);
+  } else {
+    if (const auto next_head = s.ring->front()) {
+      v.head_enqueued_at = next_head->enqueued_at;
+    }
+    if (repr_) repr_->update(*sid);
+  }
   return d;
-}
-
-std::optional<StreamId> EdfScheduler::pick(sim::Time) {
-  std::optional<StreamId> best;
-  for (StreamId i = 0; i < streams().size(); ++i) {
-    const auto& s = streams()[i];
-    if (s.ring->empty()) continue;
-    if (!best || s.next_deadline < streams()[*best].next_deadline) best = i;
-  }
-  return best;
-}
-
-std::optional<StreamId> StaticPriorityScheduler::pick(sim::Time) {
-  for (StreamId i = 0; i < streams().size(); ++i) {
-    if (!streams()[i].ring->empty()) return i;
-  }
-  return std::nullopt;
 }
 
 std::optional<StreamId> RoundRobinScheduler::pick(sim::Time) {

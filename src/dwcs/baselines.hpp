@@ -5,8 +5,18 @@
 // can quantify exactly what the loss-tolerance mechanism buys (the
 // ablate_policy bench counts window violations under overload for each
 // policy via the WindowViolationMonitor).
+//
+// EDF and static priority are not hand-written scan loops anymore: the base
+// class carries a PIFO rank engine (pifo.hpp) and those baselines are the
+// engine under EdfRank / StaticPriorityRank — the same rank structs
+// DwcsScheduler runs under ReprKind::kPifo, so a baseline and the kPifo
+// ablation cell literally share their ordering code. Round-robin is not
+// expressible as a rank over per-stream state alone (its order depends on
+// the cursor, i.e. on service history of OTHER streams), so it keeps its
+// cursor scan.
 #pragma once
 
+#include <cassert>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -17,10 +27,10 @@
 namespace nistream::dwcs {
 
 /// Common stream bookkeeping shared by the baselines.
-class BaselineScheduler : public PacketScheduler {
+class BaselineScheduler : public PacketScheduler, private StreamTable {
  public:
-  explicit BaselineScheduler(std::size_t ring_capacity = 256)
-      : ring_capacity_{ring_capacity} {}
+  /// Engine-less baseline: the subclass must override pick().
+  explicit BaselineScheduler(std::size_t ring_capacity = 256);
 
   StreamId create_stream(const StreamParams& params, sim::Time now) override;
   bool enqueue(StreamId id, const FrameDescriptor& frame, sim::Time now) override;
@@ -37,48 +47,59 @@ class BaselineScheduler : public PacketScheduler {
   }
 
  protected:
+  /// Rank-engine-backed baseline: pick() defaults to `policy`'s PIFO order
+  /// over the backlogged streams.
+  BaselineScheduler(PolicyKind policy, std::size_t ring_capacity);
+
   struct StreamState {
     StreamParams params;
-    sim::Time next_deadline;
     std::unique_ptr<FrameRing> ring;
     StreamStats stats;
+    bool has_backlog = false;  // stream currently in the rank engine
   };
 
-  /// Policy: choose among streams with backlog; nullopt when none.
-  [[nodiscard]] virtual std::optional<StreamId> pick(sim::Time now) = 0;
+  /// Policy: choose among streams with backlog; nullopt when none. Defaults
+  /// to the rank engine's pick; engine-less baselines must override.
+  [[nodiscard]] virtual std::optional<StreamId> pick(sim::Time now);
 
   [[nodiscard]] const std::vector<StreamState>& streams() const {
     return streams_;
+  }
+  /// Current deadline of `id` (dynamic state lives in the view table the
+  /// rank engine indexes, not in StreamState).
+  [[nodiscard]] sim::Time deadline(StreamId id) const {
+    return views_[id].next_deadline;
   }
 
  private:
   void drop_late_lossy(sim::Time now);
 
   std::size_t ring_capacity_;
+  Comparator comparator_;  // uncharged; the engine signature requires one
   std::vector<StreamState> streams_;
+  std::vector<StreamView> views_;  // parallel to streams_; backs StreamTable
+  std::unique_ptr<ScheduleRepr> repr_;  // null: subclass pick() scans rings
 };
 
-/// Earliest-deadline-first.
+/// Earliest-deadline-first — the rank engine under EdfRank.
 class EdfScheduler final : public BaselineScheduler {
  public:
-  using BaselineScheduler::BaselineScheduler;
+  explicit EdfScheduler(std::size_t ring_capacity = 256)
+      : BaselineScheduler{PolicyKind::kEdf, ring_capacity} {}
   [[nodiscard]] const char* name() const override { return "edf"; }
-
- protected:
-  std::optional<StreamId> pick(sim::Time) override;
 };
 
-/// Fixed priority by creation order (stream 0 most important).
+/// Fixed priority by creation order (stream 0 most important) — the rank
+/// engine under StaticPriorityRank.
 class StaticPriorityScheduler final : public BaselineScheduler {
  public:
-  using BaselineScheduler::BaselineScheduler;
+  explicit StaticPriorityScheduler(std::size_t ring_capacity = 256)
+      : BaselineScheduler{PolicyKind::kStaticPriority, ring_capacity} {}
   [[nodiscard]] const char* name() const override { return "static-priority"; }
-
- protected:
-  std::optional<StreamId> pick(sim::Time) override;
 };
 
-/// Round-robin over backlogged streams.
+/// Round-robin over backlogged streams (cursor scan; see header comment for
+/// why this one is not a rank policy).
 class RoundRobinScheduler final : public BaselineScheduler {
  public:
   using BaselineScheduler::BaselineScheduler;

@@ -6,11 +6,12 @@
 // built from) moved here. make_repr() still hands out the single-board
 // instance; nothing about the representation itself changed.
 //
-// Named heap comparators (IndexedHeap is templated on the comparator, so
-// these compile to direct calls on the sift paths — no std::function).
-// Charges flow through the Comparator they hold: a comparator built over the
-// scheduler's hook charges the modeled arithmetic, one built over the null
-// hook orders silently.
+// The named heap comparators this class is built from (DeadlineIdLess,
+// ToleranceLess, FullLess) moved to pifo.hpp with the rank-engine work:
+// they are now one-line derivations of the DWCS/EDF rank structs, so each
+// ordering is stated exactly once. Charges still flow through the Comparator
+// they hold: a comparator built over the scheduler's hook charges the
+// modeled arithmetic, one built over the null hook orders silently.
 #pragma once
 
 #include <cassert>
@@ -19,43 +20,11 @@
 #include "dwcs/comparator.hpp"
 #include "dwcs/cost.hpp"
 #include "dwcs/heap.hpp"
+#include "dwcs/pifo.hpp"
 #include "dwcs/repr.hpp"
 #include "dwcs/types.hpp"
 
 namespace nistream::dwcs {
-
-/// Rule-1 ordering with id tie-break (the Figure 4(a) deadline heap).
-/// Deliberately uncharged, as in the paper model: the deadline compare cost
-/// is charged by the callers that walk the heap, not by its maintenance.
-struct DeadlineIdLess {
-  const StreamTable* table;
-  bool operator()(StreamId a, StreamId b) const {
-    const auto& va = table->view(a);
-    const auto& vb = table->view(b);
-    if (va.next_deadline != vb.next_deadline) {
-      return va.next_deadline < vb.next_deadline;
-    }
-    return a < b;
-  }
-};
-
-/// Tolerance-domain ordering (rules 2-4 + id), charged through `cmp`.
-struct ToleranceLess {
-  const StreamTable* table;
-  const Comparator* cmp;
-  bool operator()(StreamId a, StreamId b) const {
-    return cmp->tolerance_precedes(table->view(a), a, table->view(b), b);
-  }
-};
-
-/// Full precedence (rules 1-5), charged through `cmp`.
-struct FullLess {
-  const StreamTable* table;
-  const Comparator* cmp;
-  bool operator()(StreamId a, StreamId b) const {
-    return cmp->precedes(table->view(a), a, table->view(b), b);
-  }
-};
 
 /// Figure 4(a): deadline heap + loss-tolerance heap. The deadline heap
 /// resolves rule 1; ties at the minimum deadline are broken by the tolerance

@@ -16,12 +16,15 @@ constexpr SimAddr kCoreStride = 0x20000;
 HierarchicalScheduler::HierarchicalScheduler(const StreamTable& table,
                                              const Comparator& cmp,
                                              CostHook& hook, SimAddr base,
-                                             const HierarchicalParams& params)
+                                             const HierarchicalParams& params,
+                                             PolicyKind policy)
     : table_{table},
       cmp_{cmp},
       hook_{&hook},
       charged_{hook.accounted()},
       hop_cycles_{params.hop_cycles},
+      policy_{policy},
+      pifo_cores_{params.pifo_cores},
       root_pick_{RootWinnerLess{this}, hook,
                  base + params.shards * kCoreStride},
       root_deadline_{RootDeadlineLess{this}, hook,
@@ -29,8 +32,7 @@ HierarchicalScheduler::HierarchicalScheduler(const StreamTable& table,
   const std::uint32_t n = params.shards == 0 ? 1 : params.shards;
   cores_.reserve(n);
   for (std::uint32_t s = 0; s < n; ++s) {
-    cores_.push_back(std::make_unique<DualHeapRepr>(
-        table, cmp, hook, base + static_cast<SimAddr>(s) * kCoreStride));
+    cores_.push_back(make_core(base + static_cast<SimAddr>(s) * kCoreStride));
   }
   winner_.assign(n, kInvalidStream);
   edl_.assign(n, kInvalidStream);
@@ -39,6 +41,50 @@ HierarchicalScheduler::HierarchicalScheduler(const StreamTable& table,
   dirty_list_.reserve(n);  // at most one entry per shard: allocation-free
   root_pick_.reserve(n);
   root_deadline_.reserve(n);
+}
+
+std::unique_ptr<ScheduleRepr> HierarchicalScheduler::make_core(
+    SimAddr core_base) {
+  switch (policy_) {
+    case PolicyKind::kDwcs:
+      if (pifo_cores_) {
+        return std::make_unique<PifoRepr<DwcsRank>>(table_, DwcsRank{&cmp_},
+                                                    *hook_, core_base);
+      }
+      return std::make_unique<DualHeapRepr>(table_, cmp_, *hook_, core_base);
+    case PolicyKind::kEdf:
+      return std::make_unique<PifoRepr<EdfRank>>(table_, EdfRank{}, *hook_,
+                                                 core_base);
+    case PolicyKind::kStaticPriority:
+      return std::make_unique<PifoRepr<StaticPriorityRank>>(
+          table_, StaticPriorityRank{}, *hook_, core_base);
+    case PolicyKind::kWfq:
+      // Every core clocks against the scheduler-wide WfqState held by wfq_.
+      return std::make_unique<PifoRepr<WfqRank>>(table_, WfqRank{wfq_.state},
+                                                 *hook_, core_base);
+  }
+  return nullptr;
+}
+
+bool HierarchicalScheduler::winner_precedes(StreamId a, StreamId b) const {
+  switch (policy_) {
+    case PolicyKind::kDwcs:
+      return cmp_.precedes(table_.view(a), a, table_.view(b), b);
+    case PolicyKind::kEdf:
+      return EdfRank{}.precedes(table_.view(a), a, table_.view(b), b);
+    case PolicyKind::kStaticPriority:
+      return StaticPriorityRank{}.precedes(table_.view(a), a, table_.view(b),
+                                           b);
+    case PolicyKind::kWfq:
+      return wfq_.precedes(table_.view(a), a, table_.view(b), b);
+  }
+  return a < b;
+}
+
+void HierarchicalScheduler::on_charge(StreamId id) {
+  // Forward to the owning core's policy state; the scheduler's follow-up
+  // update()/remove() of the same stream refreshes the shard and root.
+  cores_[shard_of(id, shards())]->on_charge(id);
 }
 
 void HierarchicalScheduler::refresh(std::uint32_t s, StreamId mutated) {

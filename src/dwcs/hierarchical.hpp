@@ -11,7 +11,9 @@
 // Scheduling* (PAPERS.md), this representation shards the stream population
 // across N simulated NI cores:
 //
-//  * Each core runs its own allocation-free DualHeapRepr over its shard.
+//  * Each core runs its own allocation-free schedule engine over its shard
+//    (a DualHeapRepr under DWCS, a PifoRepr<Rank> under any other rank
+//    policy — the layer shards ANY total rank order, not just rules 1-5).
 //    Shard assignment is a stable hash of the stream id — rebalance-free,
 //    identical across runs and boards (shard_of below).
 //  * A root arbiter keeps two N-entry indexed heaps whose elements are
@@ -73,14 +75,20 @@ namespace nistream::dwcs {
 
 class HierarchicalScheduler final : public ScheduleRepr {
  public:
+  /// `policy` selects the rank order of the whole sharded machine: the
+  /// per-core engines (DualHeapRepr for DWCS unless params.pifo_cores, a
+  /// PifoRepr of the policy's rank struct otherwise) and the root arbiter's
+  /// winner order. The earliest-deadline side is policy-independent.
   HierarchicalScheduler(const StreamTable& table, const Comparator& cmp,
                         CostHook& hook, SimAddr base,
-                        const HierarchicalParams& params);
+                        const HierarchicalParams& params,
+                        PolicyKind policy = PolicyKind::kDwcs);
 
   void insert(StreamId id) override;
   void remove(StreamId id) override;
   void update(StreamId id) override;
   void reserve(std::size_t n) override;
+  void on_charge(StreamId id) override;
   [[nodiscard]] std::optional<StreamId> pick() override;
   [[nodiscard]] std::optional<StreamId> earliest_deadline() override;
   [[nodiscard]] const char* name() const override { return "hierarchical"; }
@@ -98,12 +106,14 @@ class HierarchicalScheduler final : public ScheduleRepr {
   // winner / earliest-deadline stream of each shard, read through the
   // shared stream table. Root compares charge through the scheduler's
   // comparator exactly like any other heap compare: the root arbiter is
-  // modeled as one more core doing real work, not free magic.
+  // modeled as one more core doing real work, not free magic. The winner
+  // order is the active rank policy's (winner_precedes dispatches on it; the
+  // minimum over per-shard minima is the global minimum for any total rank
+  // order, not just DWCS's).
   struct RootWinnerLess {
     const HierarchicalScheduler* h;
     bool operator()(StreamId sa, StreamId sb) const {
-      const StreamId a = h->winner_[sa], b = h->winner_[sb];
-      return h->cmp_.precedes(h->table_.view(a), a, h->table_.view(b), b);
+      return h->winner_precedes(h->winner_[sa], h->winner_[sb]);
     }
   };
   struct RootDeadlineLess {
@@ -112,6 +122,15 @@ class HierarchicalScheduler final : public ScheduleRepr {
       return DeadlineIdLess{&h->table_}(h->edl_[sa], h->edl_[sb]);
     }
   };
+
+  /// The active policy's rank order over two shard winners (both valid ids).
+  /// For DWCS this is exactly cmp_.precedes — charge-identical to the
+  /// pre-rank-engine root arbiter; the other policies' orders are uncharged
+  /// like their flat engines.
+  [[nodiscard]] bool winner_precedes(StreamId a, StreamId b) const;
+
+  /// Build the engine of one core at `core_base` per the active policy.
+  [[nodiscard]] std::unique_ptr<ScheduleRepr> make_core(SimAddr core_base);
 
   /// Re-decide shard `s` after mutating `mutated` in it, and re-sift its
   /// two root entries. Charges one interconnect hop per root entry whose
@@ -140,7 +159,13 @@ class HierarchicalScheduler final : public ScheduleRepr {
   CostHook* hook_;
   bool charged_;  // cached hook.accounted(); false only for the null hook
   std::int64_t hop_cycles_;
-  std::vector<std::unique_ptr<DualHeapRepr>> cores_;
+  PolicyKind policy_;
+  bool pifo_cores_;
+  /// WFQ root rank; its WfqState is shared with every per-core engine when
+  /// policy_ == kWfq so finish tags are globally comparable (unused, but
+  /// cheap, for the other policies).
+  WfqRank wfq_;
+  std::vector<std::unique_ptr<ScheduleRepr>> cores_;
   std::vector<StreamId> winner_;  // per shard; kInvalidStream when empty
   std::vector<StreamId> edl_;     // per shard; kInvalidStream when empty
   std::vector<std::size_t> population_;  // streams backlogged per shard

@@ -7,49 +7,17 @@
 
 #include "dwcs/dual_heap.hpp"
 #include "dwcs/hierarchical.hpp"
+#include "dwcs/pifo.hpp"
 
 namespace nistream::dwcs {
 namespace {
 
-// DeadlineIdLess / ToleranceLess / FullLess and DualHeapRepr live in
-// dual_heap.hpp since the sharded NI work (hierarchical.hpp instantiates one
-// DualHeapRepr per simulated core); the remaining representations are
-// single-board-only and stay private to this file.
-
-/// One heap under the full rule-1..5 comparator.
-class SingleHeapRepr final : public ScheduleRepr {
- public:
-  SingleHeapRepr(const StreamTable& table, const Comparator& cmp,
-                 CostHook& hook, SimAddr base)
-      : heap_{FullLess{&table, &cmp}, hook, base},
-        deadline_heap_{DeadlineIdLess{&table}, hook, base + 0x10000} {}
-
-  void insert(StreamId id) override {
-    heap_.push(id);
-    deadline_heap_.push(id);
-  }
-  void remove(StreamId id) override {
-    heap_.erase(id);
-    deadline_heap_.erase(id);
-  }
-  void update(StreamId id) override {
-    heap_.update(id);
-    deadline_heap_.update(id);
-  }
-  void reserve(std::size_t n) override {
-    heap_.reserve(n);
-    deadline_heap_.reserve(n);
-  }
-  std::optional<StreamId> pick() override { return heap_.top(); }
-  std::optional<StreamId> earliest_deadline() override {
-    return deadline_heap_.top();
-  }
-  const char* name() const override { return "single-heap"; }
-
- private:
-  IndexedHeap<FullLess> heap_;
-  IndexedHeap<DeadlineIdLess> deadline_heap_;
-};
+// DeadlineIdLess / ToleranceLess / FullLess live in pifo.hpp (derived from
+// the rank structs) and DualHeapRepr in dual_heap.hpp (hierarchical.hpp
+// instantiates one per simulated core). The historical SingleHeapRepr — one
+// heap under the full rule-1..5 comparator — is PifoRepr<DwcsRank> under its
+// old name (identical heap layout and charge stream; see pifo.hpp). The
+// remaining representations are single-board-only and stay private here.
 
 /// Insertion-sorted list under the full comparator.
 class SortedListRepr final : public ScheduleRepr {
@@ -334,6 +302,17 @@ const char* to_string(ReprKind kind) {
     case ReprKind::kFcfs: return "fcfs";
     case ReprKind::kCalendarQueue: return "calendar-queue";
     case ReprKind::kHierarchical: return "hierarchical";
+    case ReprKind::kPifo: return "pifo";
+  }
+  return "?";
+}
+
+const char* to_string(PolicyKind policy) {
+  switch (policy) {
+    case PolicyKind::kDwcs: return "dwcs";
+    case PolicyKind::kEdf: return "edf";
+    case PolicyKind::kStaticPriority: return "static-priority";
+    case PolicyKind::kWfq: return "wfq";
   }
   return "?";
 }
@@ -341,12 +320,14 @@ const char* to_string(ReprKind kind) {
 std::unique_ptr<ScheduleRepr> make_repr(ReprKind kind, const StreamTable& table,
                                         const Comparator& cmp, CostHook& hook,
                                         SimAddr heap_base,
-                                        const HierarchicalParams& hier) {
+                                        const HierarchicalParams& hier,
+                                        PolicyKind policy) {
   switch (kind) {
     case ReprKind::kDualHeap:
       return std::make_unique<DualHeapRepr>(table, cmp, hook, heap_base);
     case ReprKind::kSingleHeap:
-      return std::make_unique<SingleHeapRepr>(table, cmp, hook, heap_base);
+      return std::make_unique<PifoRepr<DwcsRank>>(table, DwcsRank{&cmp}, hook,
+                                                  heap_base, "single-heap");
     case ReprKind::kSortedList:
       return std::make_unique<SortedListRepr>(table, cmp, hook, heap_base);
     case ReprKind::kFcfs:
@@ -355,7 +336,23 @@ std::unique_ptr<ScheduleRepr> make_repr(ReprKind kind, const StreamTable& table,
       return std::make_unique<CalendarQueueRepr>(table, cmp, hook, heap_base);
     case ReprKind::kHierarchical:
       return std::make_unique<HierarchicalScheduler>(table, cmp, hook,
-                                                     heap_base, hier);
+                                                     heap_base, hier, policy);
+    case ReprKind::kPifo:
+      switch (policy) {
+        case PolicyKind::kDwcs:
+          return std::make_unique<PifoRepr<DwcsRank>>(table, DwcsRank{&cmp},
+                                                      hook, heap_base);
+        case PolicyKind::kEdf:
+          return std::make_unique<PifoRepr<EdfRank>>(table, EdfRank{}, hook,
+                                                     heap_base);
+        case PolicyKind::kStaticPriority:
+          return std::make_unique<PifoRepr<StaticPriorityRank>>(
+              table, StaticPriorityRank{}, hook, heap_base);
+        case PolicyKind::kWfq:
+          return std::make_unique<PifoRepr<WfqRank>>(table, WfqRank{}, hook,
+                                                     heap_base);
+      }
+      return nullptr;
   }
   return nullptr;
 }

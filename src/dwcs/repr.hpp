@@ -11,17 +11,23 @@
 // * DualHeapRepr     — the paper's Figure 4(a): a deadline heap plus a
 //                      loss-tolerance heap; deadline ties are broken with
 //                      the tolerance ordering.
-// * SingleHeapRepr   — one heap under the full precedence comparator.
+// * PifoRepr<Policy> (pifo.hpp) — the programmable rank engine: one heap
+//                      under a policy's rank order plus the deadline heap.
+//                      kSingleHeap is this engine under the DWCS rank with
+//                      its historical name; kPifo selects the rank policy
+//                      via PolicyKind (DWCS, EDF, SP, WFQ).
 // * SortedListRepr   — insertion-sorted list, O(n) updates, O(1) pick.
 // * FcfsRepr         — arrival order of head packets; ignores attributes.
 // * CalendarQueueRepr— deadline-bucketed calendar queue.
-// * HierarchicalScheduler (hierarchical.hpp) — N per-core dual heaps over
+// * HierarchicalScheduler (hierarchical.hpp) — N per-core engines over
 //                      hash shards of the stream population, arbitrated by
 //                      an N-entry root heap of per-shard winners (the
-//                      sharded multi-core NI model).
+//                      sharded multi-core NI model). Cores are dual heaps
+//                      for DWCS and PIFO rank engines for any other policy.
 //
-// All representations must agree with SingleHeapRepr on pick() for any state
-// (except FCFS, which deliberately ignores the rules); that equivalence is a
+// All representations must agree with the DWCS rank order on pick() for any
+// state (except FCFS, which deliberately ignores the rules, and kPifo under
+// a non-DWCS policy, which ranks by ITS rules); that equivalence is a
 // property test in tests/dwcs/repr_test.cpp.
 #pragma once
 
@@ -67,6 +73,12 @@ class ScheduleRepr {
   /// Pre-size internal storage for `n` streams (never charged: capacity
   /// planning is host work, not part of the modeled scheduler).
   virtual void reserve(std::size_t /*n*/) {}
+  /// The scheduler charged one service to `id` (its head was dispatched).
+  /// Stateful rank policies (WFQ virtual time) advance their per-stream
+  /// state here; everything else ignores it. Contract: the caller follows
+  /// with update(id) or remove(id) before the next pick()/
+  /// earliest_deadline(), so this hook never re-sifts on its own.
+  virtual void on_charge(StreamId /*id*/) {}
   [[nodiscard]] virtual std::optional<StreamId> pick() = 0;
   [[nodiscard]] virtual std::optional<StreamId> earliest_deadline() = 0;
   [[nodiscard]] virtual const char* name() const = 0;
@@ -79,13 +91,26 @@ enum class ReprKind {
   kFcfs,
   kCalendarQueue,
   kHierarchical,
+  kPifo,
+};
+
+/// Rank policy of the PIFO engine (pifo.hpp). Consulted by make_repr for
+/// ReprKind::kPifo (which rank struct to instantiate the engine with) and
+/// ReprKind::kHierarchical (per-core engines plus the root winner order);
+/// every other representation is DWCS-only and ignores it.
+enum class PolicyKind {
+  kDwcs,            // precedence rules 1-5 (comparator.hpp)
+  kEdf,             // earliest deadline, id tie-break
+  kStaticPriority,  // lowest stream id
+  kWfq,             // weighted fair queueing (SCFQ virtual finish times)
 };
 
 /// Knobs of the sharded multi-core representation (hierarchical.hpp). Lives
 /// here so the repr-selection machinery (DwcsScheduler::Config, make_repr)
 /// can carry it without pulling in the implementation header.
 struct HierarchicalParams {
-  /// Simulated NI cores; each runs a DualHeapRepr over its stream shard.
+  /// Simulated NI cores; each runs one schedule engine over its stream
+  /// shard — a DualHeapRepr for DWCS, a PifoRepr for any other rank policy.
   /// Shard assignment is a stable hash of the stream id (rebalance-free).
   std::uint32_t shards = 8;
   /// Modeled cost of shipping a shard's winner update across the on-chip
@@ -93,15 +118,23 @@ struct HierarchicalParams {
   /// Default 0: decision-identity runs add no cycles the single-core
   /// dual-heap would not charge. Ablatable (hw::InterconnectParams).
   std::int64_t hop_cycles = 0;
+  /// Under PolicyKind::kDwcs, run PifoRepr<DwcsRank> cores instead of the
+  /// default DualHeapRepr cores. Decision-identical either way (same total
+  /// order); the knob exists so the rank-engine-inside-shards combination is
+  /// differentially testable.
+  bool pifo_cores = false;
 };
 
 [[nodiscard]] const char* to_string(ReprKind kind);
+[[nodiscard]] const char* to_string(PolicyKind policy);
 
 /// Create a representation. `table` and `cmp` must outlive the result.
 /// `heap_base` is the simulated address of the representation's storage.
-/// `hier` is consulted only for ReprKind::kHierarchical.
+/// `hier` is consulted only for ReprKind::kHierarchical; `policy` for
+/// kPifo and kHierarchical.
 [[nodiscard]] std::unique_ptr<ScheduleRepr> make_repr(
     ReprKind kind, const StreamTable& table, const Comparator& cmp,
-    CostHook& hook, SimAddr heap_base, const HierarchicalParams& hier = {});
+    CostHook& hook, SimAddr heap_base, const HierarchicalParams& hier = {},
+    PolicyKind policy = PolicyKind::kDwcs);
 
 }  // namespace nistream::dwcs

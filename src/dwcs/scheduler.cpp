@@ -14,7 +14,8 @@ DwcsScheduler::DwcsScheduler(Config config, CostHook& hook)
       charged_{hook.accounted()},
       comparator_{config.arith, hook},
       repr_{make_repr(config.repr, *this, comparator_, hook,
-                      /*heap_base=*/0x0100'0000, config.hierarchical)} {}
+                      /*heap_base=*/0x0100'0000, config.hierarchical,
+                      config.policy)} {}
 
 const StreamParams& DwcsScheduler::stream_params(StreamId id) const {
   assert(id < streams_.size());
@@ -216,6 +217,12 @@ std::optional<Dispatch> DwcsScheduler::schedule_next(sim::Time now) {
   const auto head = s.ring->front();
   assert(head.has_value());
   s.ring->pop();
+  // The winner is charged one service the moment its head leaves the ring:
+  // stateful rank policies (WFQ virtual time) advance here. The repr
+  // update()/remove() at the end of this cycle re-sifts, per the on_charge
+  // contract. Dropped heads (process_late, the loop above) are never
+  // charged — a drop spends no service.
+  repr_->on_charge(*sid);
 
   Dispatch d;
   d.stream = *sid;

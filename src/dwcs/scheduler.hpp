@@ -62,6 +62,12 @@ class DwcsScheduler final : public PacketScheduler, private StreamTable {
   struct Config {
     ArithMode arith = ArithMode::kFixedPoint;
     ReprKind repr = ReprKind::kDualHeap;
+    /// Rank policy of the PIFO engine; consulted when repr == kPifo (flat
+    /// engine) or kHierarchical (per-core engines + root order). The window-
+    /// constraint analysis (late processing, rule A/B adjustments) runs
+    /// unchanged under any policy — only the pick order differs — which is
+    /// what lets bench/ablate_policy isolate the policy effect.
+    PolicyKind policy = PolicyKind::kDwcs;
     /// Shard count and interconnect-hop cost of the sharded multi-core
     /// representation; consulted only when repr == ReprKind::kHierarchical.
     HierarchicalParams hierarchical{};

@@ -1,0 +1,300 @@
+// PIFO rank engine contract tests.
+//
+// The load-bearing property is DECISION IDENTITY for the DWCS rank:
+// PifoRepr<DwcsRank> ranks by the same rule-1..5 total order as
+// DualHeapRepr's full-order shadow heap, so both must pick() the identical
+// stream on every round — flat, and with PIFO engines as the per-core
+// representation inside the hierarchical sharding layer at every shard
+// count. The WFQ rank is stateful (virtual finish tags), so its tests
+// assert the fair-queueing contract instead: service counts converge to
+// weight-proportional shares, and an idle flow rejoins at the clock with
+// no banked catch-up burst.
+#include "dwcs/pifo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "dwcs/dual_heap.hpp"
+#include "dwcs/hierarchical.hpp"
+#include "sim/random.hpp"
+
+namespace nistream::dwcs {
+namespace {
+
+using sim::Time;
+
+class FakeTable final : public StreamTable {
+ public:
+  FakeTable() : StreamTable{views_} {}
+  StreamView& mutable_view(StreamId id) { return views_[id]; }
+  StreamId add(const StreamView& v) {
+    views_.push_back(v);
+    return static_cast<StreamId>(views_.size() - 1);
+  }
+  [[nodiscard]] std::size_t size() const { return views_.size(); }
+
+ private:
+  std::vector<StreamView> views_;
+};
+
+StreamView random_view(sim::Rng& rng, Time now) {
+  StreamView v;
+  const std::int64_t y = 1 + static_cast<std::int64_t>(rng.below(6));
+  v.current = {static_cast<std::int64_t>(
+                   rng.below(static_cast<std::uint64_t>(y + 1))),
+               y};
+  // Coarse deadline grid so ties are the common case and rule 5 decides.
+  v.next_deadline = now + Time::ms(10 * (1 + static_cast<int>(rng.below(4))));
+  v.head_enqueued_at = now;
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// DWCS-rank decision identity vs DualHeapRepr.
+// ---------------------------------------------------------------------------
+
+/// Drive DualHeapRepr and `candidate` in lock-step through a randomized
+/// insert/remove/update/dispatch workload and assert pick() and
+/// earliest_deadline() agree on every round. Dispatch follows the
+/// scheduler's own mutation pattern, on_charge() included, so the charged
+/// stream's re-sift happens through update() per the contract. Returns
+/// rounds with a winner.
+int run_lockstep(FakeTable& table, ScheduleRepr& reference,
+                 ScheduleRepr& candidate, std::uint64_t seed,
+                 const char* label) {
+  sim::Rng rng{seed};
+  std::vector<bool> present;
+  Time now = Time::zero();
+  const auto insert = [&](StreamId id) {
+    reference.insert(id);
+    candidate.insert(id);
+    present[id] = true;
+  };
+
+  for (int i = 0; i < 32; ++i) {
+    const auto id = table.add(random_view(rng, now));
+    present.push_back(false);
+    insert(id);
+  }
+
+  int decided = 0;
+  for (int round = 0; round < 1500; ++round) {
+    now += Time::ms(1 + static_cast<double>(rng.below(5)));
+    const auto op = rng.below(10);
+    if (op == 0 && table.size() < 96) {
+      const auto id = table.add(random_view(rng, now));
+      present.push_back(false);
+      insert(id);
+    } else if (op == 1) {
+      const auto id = static_cast<StreamId>(rng.below(table.size()));
+      if (present[id]) {
+        reference.remove(id);
+        candidate.remove(id);
+        present[id] = false;
+      } else {
+        table.mutable_view(id) = random_view(rng, now);
+        insert(id);
+      }
+    }
+
+    const auto p_ref = reference.pick();
+    const auto p_cand = candidate.pick();
+    EXPECT_EQ(p_cand, p_ref) << label << " seed " << seed << " round "
+                             << round;
+    EXPECT_EQ(candidate.earliest_deadline(), reference.earliest_deadline())
+        << label << " seed " << seed << " round " << round;
+    if (!p_ref || p_cand != p_ref) continue;
+
+    // Dispatch the winner: charge, window adjustment, deadline advance,
+    // then update both reprs — the scheduler's own mutation pattern.
+    reference.on_charge(*p_ref);
+    candidate.on_charge(*p_ref);
+    auto& v = table.mutable_view(*p_ref);
+    if (v.current.y > v.current.x) --v.current.y;
+    v.next_deadline += Time::ms(10 * (1 + static_cast<double>(rng.below(4))));
+    reference.update(*p_ref);
+    candidate.update(*p_ref);
+    ++decided;
+  }
+  return decided;
+}
+
+TEST(PifoIdentity, DwcsRankMatchesDualHeap) {
+  // Same seeds as the 5-way differential test.
+  for (const std::uint64_t seed : {7u, 99u, 1234u}) {
+    FakeTable table;
+    Comparator cmp{ArithMode::kFixedPoint, null_cost_hook()};
+    DualHeapRepr reference{table, cmp, null_cost_hook(), 0x0100'0000};
+    const auto pifo = make_repr(ReprKind::kPifo, table, cmp, null_cost_hook(),
+                                0x0200'0000);
+    EXPECT_STREQ(pifo->name(), "pifo-dwcs");
+    EXPECT_GT(run_lockstep(table, reference, *pifo, seed, "flat"), 1000)
+        << "seed " << seed;
+  }
+}
+
+TEST(PifoIdentity, HierarchicalPifoCoresMatchDualHeap) {
+  // The sharding layer over PIFO cores (params.pifo_cores) must still be
+  // decision-identical to one flat dual heap: same total order per core,
+  // same root arbiter, any shard count.
+  for (const std::uint32_t shards : {1u, 4u, 16u}) {
+    for (const std::uint64_t seed : {7u, 99u, 1234u}) {
+      FakeTable table;
+      Comparator cmp{ArithMode::kFixedPoint, null_cost_hook()};
+      DualHeapRepr reference{table, cmp, null_cost_hook(), 0x0100'0000};
+      HierarchicalScheduler sharded{
+          table, cmp, null_cost_hook(), 0x0200'0000,
+          HierarchicalParams{.shards = shards, .pifo_cores = true}};
+      EXPECT_EQ(sharded.shards(), shards);
+      EXPECT_GT(run_lockstep(table, reference, sharded, seed, "sharded"),
+                1000)
+          << "shards " << shards << " seed " << seed;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Non-DWCS ranks: order contracts.
+// ---------------------------------------------------------------------------
+
+TEST(PifoRanks, EdfOrdersByDeadlineThenId) {
+  FakeTable table;
+  Comparator cmp{ArithMode::kFixedPoint, null_cost_hook()};
+  const auto repr = make_repr(ReprKind::kPifo, table, cmp, null_cost_hook(),
+                              0x0100'0000, {}, PolicyKind::kEdf);
+  EXPECT_STREQ(repr->name(), "pifo-edf");
+  StreamView v;
+  v.current = {1, 4};
+  v.next_deadline = Time::ms(30);
+  const auto late = table.add(v);  // id 0, deadline 30
+  v.next_deadline = Time::ms(10);
+  const auto soon = table.add(v);  // id 1, deadline 10
+  v.current = {0, 9};              // most urgent tolerance, same deadline 10
+  const auto tied = table.add(v);  // id 2
+  for (StreamId id = 0; id < 3; ++id) repr->insert(id);
+  // Deadline wins over any tolerance; the 10ms tie breaks to the lower id.
+  EXPECT_EQ(repr->pick(), std::optional<StreamId>{soon});
+  repr->remove(soon);
+  EXPECT_EQ(repr->pick(), std::optional<StreamId>{tied});
+  repr->remove(tied);
+  EXPECT_EQ(repr->pick(), std::optional<StreamId>{late});
+}
+
+TEST(PifoRanks, StaticPriorityOrdersByIdAlone) {
+  FakeTable table;
+  Comparator cmp{ArithMode::kFixedPoint, null_cost_hook()};
+  const auto repr = make_repr(ReprKind::kPifo, table, cmp, null_cost_hook(),
+                              0x0100'0000, {}, PolicyKind::kStaticPriority);
+  EXPECT_STREQ(repr->name(), "pifo-sp");
+  StreamView v;
+  v.current = {1, 4};
+  v.next_deadline = Time::ms(5);  // earliest deadline, highest id
+  (void)table.add(v);
+  v.next_deadline = Time::ms(50);
+  (void)table.add(v);
+  repr->insert(1);
+  repr->insert(0);
+  EXPECT_EQ(repr->pick(), std::optional<StreamId>{0});
+  // earliest_deadline() stays attribute-honest under every policy.
+  EXPECT_EQ(repr->earliest_deadline(), std::optional<StreamId>{0});
+  repr->remove(0);
+  EXPECT_EQ(repr->pick(), std::optional<StreamId>{1});
+}
+
+TEST(PolicyKindNames, Stable) {
+  EXPECT_STREQ(to_string(PolicyKind::kDwcs), "dwcs");
+  EXPECT_STREQ(to_string(PolicyKind::kEdf), "edf");
+  EXPECT_STREQ(to_string(PolicyKind::kStaticPriority), "static-priority");
+  EXPECT_STREQ(to_string(PolicyKind::kWfq), "wfq");
+  EXPECT_STREQ(to_string(ReprKind::kPifo), "pifo");
+}
+
+// ---------------------------------------------------------------------------
+// WFQ rank: fair-queueing contract.
+// ---------------------------------------------------------------------------
+
+/// Serve `rounds` picks from always-backlogged streams, following the
+/// scheduler's dispatch pattern (pick -> on_charge -> update), and return
+/// per-stream service counts.
+std::vector<int> serve(ScheduleRepr& repr, FakeTable& table, int rounds) {
+  std::vector<int> count(table.size(), 0);
+  for (int i = 0; i < rounds; ++i) {
+    const auto p = repr.pick();
+    if (!p) break;
+    repr.on_charge(*p);
+    repr.update(*p);
+    ++count[*p];
+  }
+  return count;
+}
+
+TEST(WfqRank, ServiceConvergesToWeightProportionalShares) {
+  FakeTable table;
+  Comparator cmp{ArithMode::kFixedPoint, null_cost_hook()};
+  const auto repr = make_repr(ReprKind::kPifo, table, cmp, null_cost_hook(),
+                              0x0100'0000, {}, PolicyKind::kWfq);
+  EXPECT_STREQ(repr->name(), "pifo-wfq");
+  // Weight is the outstanding on-time obligation y'-x': 1, 2, and 4.
+  StreamView v;
+  v.next_deadline = Time::ms(10);
+  for (const std::int64_t y : {1, 2, 4}) {
+    v.current = {0, y};
+    repr->insert(table.add(v));
+  }
+  const auto count = serve(*repr, table, 7000);
+  // kScale is divisible by every weight, so shares are exact up to the
+  // rotation order within one virtual round: 1000/2000/4000.
+  EXPECT_NEAR(count[0], 1000, 2);
+  EXPECT_NEAR(count[1], 2000, 2);
+  EXPECT_NEAR(count[2], 4000, 2);
+}
+
+TEST(WfqRank, RejoiningFlowGetsNoCatchUpBurst) {
+  FakeTable table;
+  Comparator cmp{ArithMode::kFixedPoint, null_cost_hook()};
+  const auto repr = make_repr(ReprKind::kPifo, table, cmp, null_cost_hook(),
+                              0x0100'0000, {}, PolicyKind::kWfq);
+  StreamView v;
+  v.next_deadline = Time::ms(10);
+  v.current = {0, 1};  // equal weights
+  const auto a = table.add(v);
+  const auto b = table.add(v);
+  repr->insert(a);
+  // b idles while a is served 1000 times: a's finish tag (and the clock)
+  // races ahead.
+  (void)serve(*repr, table, 1000);
+  repr->insert(b);
+  // SCFQ admits b at the current clock, not at tag 0 — so b gets its fair
+  // half from here on, not a 1000-service catch-up monopoly.
+  const auto count = serve(*repr, table, 200);
+  EXPECT_GE(count[b], 99);
+  EXPECT_LE(count[b], 101);
+  EXPECT_GE(count[a], 99);
+}
+
+TEST(WfqRank, HierarchicalCoresShareOneClock) {
+  // The sharded machine hands every core (and the root) the same WfqState:
+  // finish tags stay globally comparable, so weight-proportional shares
+  // hold across shard boundaries too.
+  FakeTable table;
+  Comparator cmp{ArithMode::kFixedPoint, null_cost_hook()};
+  HierarchicalScheduler sharded{table, cmp, null_cost_hook(), 0x0100'0000,
+                                HierarchicalParams{.shards = 4},
+                                PolicyKind::kWfq};
+  StreamView v;
+  v.next_deadline = Time::ms(10);
+  for (const std::int64_t y : {1, 2, 4}) {
+    v.current = {0, y};
+    sharded.insert(table.add(v));
+  }
+  const auto count = serve(sharded, table, 7000);
+  EXPECT_NEAR(count[0], 1000, 2);
+  EXPECT_NEAR(count[1], 2000, 2);
+  EXPECT_NEAR(count[2], 4000, 2);
+}
+
+}  // namespace
+}  // namespace nistream::dwcs

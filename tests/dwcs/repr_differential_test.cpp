@@ -3,13 +3,15 @@
 //
 // All ReprKinds are driven in lock-step through 1k-round randomized
 // enqueue/schedule workloads against one shared stream table — including
-// the hierarchical (sharded) representation at 1 shard (the degenerate case
-// that must collapse to dual-heap behavior) and 3 shards (odd count, so the
-// splitmix64 shard hash is exercised off the power-of-two path). Every round:
+// the PIFO rank engine under the DWCS rank and the hierarchical (sharded)
+// representation at 1 shard (the degenerate case that must collapse to
+// dual-heap behavior) and 3 shards (odd count, so the splitmix64 shard hash
+// is exercised off the power-of-two path). Every round:
 //   * pick() must return the identical stream across all attribute-aware
 //     representations (dual-heap, single-heap, sorted-list, calendar-queue,
-//     hierarchical x shards) — they are interchangeable structures under one
-//     policy (§3.1.1), so the dispatched stream sequence must be identical;
+//     pifo, hierarchical x shards) — they are interchangeable structures
+//     under one policy (§3.1.1), so the dispatched stream sequence must be
+//     identical;
 //   * earliest_deadline() must agree across ALL representations,
 //     FCFS included (its earliest-deadline contract is attribute-honest
 //     even though its pick() deliberately ignores the precedence rules).
@@ -55,7 +57,7 @@ struct Harness {
   Harness() {
     for (const auto kind :
          {ReprKind::kDualHeap, ReprKind::kSingleHeap, ReprKind::kSortedList,
-          ReprKind::kCalendarQueue}) {
+          ReprKind::kCalendarQueue, ReprKind::kPifo}) {
       reprs.push_back(
           make_repr(kind, table, cmp, null_cost_hook(), 0x0100'0000));
     }

@@ -88,13 +88,15 @@ INSTANTIATE_TEST_SUITE_P(Kinds, ReprEquivalence,
                          ::testing::Values(ReprKind::kDualHeap,
                                            ReprKind::kSortedList,
                                            ReprKind::kCalendarQueue,
-                                           ReprKind::kHierarchical),
+                                           ReprKind::kHierarchical,
+                                           ReprKind::kPifo),
                          [](const auto& param_info) {
                            const std::string n{to_string(param_info.param)};
-                           return n == "dual-heap"     ? "dual_heap"
-                                  : n == "sorted-list" ? "sorted_list"
+                           return n == "dual-heap"      ? "dual_heap"
+                                  : n == "sorted-list"  ? "sorted_list"
                                   : n == "hierarchical" ? "hierarchical"
-                                                       : "calendar_queue";
+                                  : n == "pifo"         ? "pifo"
+                                                        : "calendar_queue";
                          });
 
 TEST(ReprFcfs, ServesInHeadArrivalOrder) {
@@ -126,6 +128,7 @@ TEST(ReprNames, AreStable) {
   EXPECT_STREQ(to_string(ReprKind::kFcfs), "fcfs");
   EXPECT_STREQ(to_string(ReprKind::kCalendarQueue), "calendar-queue");
   EXPECT_STREQ(to_string(ReprKind::kHierarchical), "hierarchical");
+  EXPECT_STREQ(to_string(ReprKind::kPifo), "pifo");
 }
 
 }  // namespace
