@@ -2,16 +2,9 @@
 
 #include <cassert>
 
+#include "dwcs/shard_exec.hpp"
+
 namespace nistream::dwcs {
-namespace {
-
-/// Simulated card-memory stride between per-core heap regions. A DualHeapRepr
-/// occupies two 0x10000 regions (deadline heap, tolerance heap); each core
-/// gets its own pair so the cache model sees per-core working sets, not one
-/// shared array.
-constexpr SimAddr kCoreStride = 0x20000;
-
-}  // namespace
 
 HierarchicalScheduler::HierarchicalScheduler(const StreamTable& table,
                                              const Comparator& cmp,
@@ -25,6 +18,7 @@ HierarchicalScheduler::HierarchicalScheduler(const StreamTable& table,
       hop_cycles_{params.hop_cycles},
       policy_{policy},
       pifo_cores_{params.pifo_cores},
+      tenant_{&cmp},
       root_pick_{RootWinnerLess{this}, hook,
                  base + params.shards * kCoreStride},
       root_deadline_{RootDeadlineLess{this}, hook,
@@ -62,6 +56,11 @@ std::unique_ptr<ScheduleRepr> HierarchicalScheduler::make_core(
       // Every core clocks against the scheduler-wide WfqState held by wfq_.
       return std::make_unique<PifoRepr<WfqRank>>(table_, WfqRank{wfq_.state},
                                                  *hook_, core_base);
+    case PolicyKind::kTenantDwcs:
+      // Every core clocks scope finish tags against the scheduler-wide
+      // TenantDwcsState held by tenant_ (same sharing contract as WFQ).
+      return std::make_unique<PifoRepr<TenantDwcsRank>>(
+          table_, TenantDwcsRank{&cmp_, tenant_.state}, *hook_, core_base);
   }
   return nullptr;
 }
@@ -77,6 +76,8 @@ bool HierarchicalScheduler::winner_precedes(StreamId a, StreamId b) const {
                                            b);
     case PolicyKind::kWfq:
       return wfq_.precedes(table_.view(a), a, table_.view(b), b);
+    case PolicyKind::kTenantDwcs:
+      return tenant_.precedes(table_.view(a), a, table_.view(b), b);
   }
   return a < b;
 }
@@ -84,7 +85,16 @@ bool HierarchicalScheduler::winner_precedes(StreamId a, StreamId b) const {
 void HierarchicalScheduler::on_charge(StreamId id) {
   // Forward to the owning core's policy state; the scheduler's follow-up
   // update()/remove() of the same stream refreshes the shard and root.
-  cores_[shard_of(id, shards())]->on_charge(id);
+  const auto s = shard_for(id);
+  std::int64_t t0 = 0;
+  if (trace_ != nullptr) {
+    meter_->set_context(s);
+    t0 = meter_->total();
+  }
+  cores_[s]->on_charge(id);
+  if (trace_ != nullptr) {
+    trace_->mutation(s, id, meter_->total() - t0, 0);
+  }
 }
 
 void HierarchicalScheduler::refresh(std::uint32_t s, StreamId mutated) {
@@ -132,6 +142,7 @@ void HierarchicalScheduler::refresh(std::uint32_t s, StreamId mutated) {
   // Single-core boards (1 shard) have no interconnect to cross.
   if (root_changed && charged_ && hop_cycles_ > 0 && cores_.size() > 1) {
     hook_->cycles(hop_cycles_);
+    ++hops_charged_;
   }
 }
 
@@ -164,35 +175,62 @@ void HierarchicalScheduler::flush_dirty() {
 }
 
 void HierarchicalScheduler::insert(StreamId id) {
-  const auto s = shard_of(id, shards());
+  const auto s = shard_for(id);
+  std::int64_t t0 = 0;
+  if (trace_ != nullptr) {
+    meter_->set_context(s);
+    t0 = meter_->total();
+  }
   cores_[s]->insert(id);
   ++population_[s];
+  const std::int64_t t1 = trace_ != nullptr ? meter_->total() : 0;
   if (charged_) {
     refresh(s, id);
   } else {
     mark_dirty(s);
+  }
+  if (trace_ != nullptr) {
+    trace_->mutation(s, id, t1 - t0, meter_->total() - t1);
   }
 }
 
 void HierarchicalScheduler::remove(StreamId id) {
-  const auto s = shard_of(id, shards());
+  const auto s = shard_for(id);
+  std::int64_t t0 = 0;
+  if (trace_ != nullptr) {
+    meter_->set_context(s);
+    t0 = meter_->total();
+  }
   cores_[s]->remove(id);
   assert(population_[s] > 0);
   --population_[s];
+  const std::int64_t t1 = trace_ != nullptr ? meter_->total() : 0;
   if (charged_) {
     refresh(s, id);
   } else {
     mark_dirty(s);
   }
+  if (trace_ != nullptr) {
+    trace_->mutation(s, id, t1 - t0, meter_->total() - t1);
+  }
 }
 
 void HierarchicalScheduler::update(StreamId id) {
-  const auto s = shard_of(id, shards());
+  const auto s = shard_for(id);
+  std::int64_t t0 = 0;
+  if (trace_ != nullptr) {
+    meter_->set_context(s);
+    t0 = meter_->total();
+  }
   cores_[s]->update(id);
+  const std::int64_t t1 = trace_ != nullptr ? meter_->total() : 0;
   if (charged_) {
     refresh(s, id);
   } else {
     mark_dirty(s);
+  }
+  if (trace_ != nullptr) {
+    trace_->mutation(s, id, t1 - t0, meter_->total() - t1);
   }
 }
 

@@ -58,6 +58,17 @@
 
 namespace nistream::dwcs {
 
+class ShardExecTrace;
+class ShardCycleMeter;
+
+/// Simulated card-memory stride between per-core heap regions. A per-core
+/// engine occupies two 0x10000 regions (rank/deadline or deadline/tolerance
+/// heap); each core gets its own pair so cache models see per-core working
+/// sets, not one shared array. The two root heaps occupy the stride after
+/// the last core's. Public so the cycle meter (shard_exec.hpp) can route a
+/// heap access to the owning core's cache by address alone.
+inline constexpr SimAddr kCoreStride = 0x20000;
+
 /// Stable shard assignment: a splitmix64 finalizer over the stream id,
 /// reduced mod `shards`. Pure function of (id, shards) — the same stream
 /// set lands on the same cores in every run, on every board, with no
@@ -101,7 +112,44 @@ class HierarchicalScheduler final : public ScheduleRepr {
     return population_[s];
   }
 
+  /// Simulated-parallel execution (shard_exec.hpp): report every mutation's
+  /// cycle split — per-shard engine work vs root-arbiter work — to `trace`,
+  /// measured as deltas of `meter`, which MUST be the CostHook this scheduler
+  /// was constructed over (the deltas bracket this scheduler's own charges).
+  /// Passing nullptrs detaches. Attach AFTER bulk setup, or the setup
+  /// mutations become replayed work items too.
+  void set_exec_trace(ShardExecTrace* trace, ShardCycleMeter* meter) {
+    trace_ = trace;
+    meter_ = meter;
+  }
+
+  /// Interconnect hops charged so far (charged runs with hop_cycles > 0 on
+  /// a multi-shard board; 0 otherwise). The parallel-mode identity suite
+  /// asserts this equals the serial scheduler's count for the same workload.
+  [[nodiscard]] std::uint64_t hops_charged() const { return hops_charged_; }
+
+  /// The shared tenant-scope ledger (kTenantDwcs only): install scope and
+  /// weight assignments here BEFORE inserting the affected streams — under
+  /// kTenantDwcs the scope IS the shard assignment (see shard_for).
+  [[nodiscard]] const std::shared_ptr<TenantDwcsState>& tenant_state() {
+    return tenant_.state;
+  }
+
  private:
+  /// Core that owns `id`. Hash sharding by default; under kTenantDwcs the
+  /// stream's tenant SCOPE is the shard, because a scope is a serialization
+  /// domain here: all of a scope's streams must live in one engine so that
+  /// within-engine compares fall through to pure DWCS (stable per-stream
+  /// keys) and the shared scope tag only ranks ROOT entries — where the one
+  /// entry a charge moves is exactly the one shard refresh() re-sifts. Run
+  /// with shards >= distinct scopes; scopes colliding mod `shards` would
+  /// share an engine and forfeit the isolation guarantee between them (see
+  /// TenantDwcsRank's structural-requirement note).
+  [[nodiscard]] std::uint32_t shard_for(StreamId id) const {
+    return policy_ == PolicyKind::kTenantDwcs ? tenant_.scope(id) % shards()
+                                              : shard_of(id, shards());
+  }
+
   // Root-heap comparators. Elements are shard indices; keys are the cached
   // winner / earliest-deadline stream of each shard, read through the
   // shared stream table. Root compares charge through the scheduler's
@@ -165,6 +213,15 @@ class HierarchicalScheduler final : public ScheduleRepr {
   /// policy_ == kWfq so finish tags are globally comparable (unused, but
   /// cheap, for the other policies).
   WfqRank wfq_;
+  /// Tenant-scoped hybrid root rank; same sharing contract as wfq_ — every
+  /// core clocks scope finish tags against the one shared ledger when
+  /// policy_ == kTenantDwcs.
+  TenantDwcsRank tenant_;
+  /// Simulated-parallel cycle reporting (set_exec_trace); both null in the
+  /// default serial mode.
+  ShardExecTrace* trace_ = nullptr;
+  ShardCycleMeter* meter_ = nullptr;
+  std::uint64_t hops_charged_ = 0;
   std::vector<std::unique_ptr<ScheduleRepr>> cores_;
   std::vector<StreamId> winner_;  // per shard; kInvalidStream when empty
   std::vector<StreamId> edl_;     // per shard; kInvalidStream when empty

@@ -1,0 +1,99 @@
+#include "dwcs/parallel.hpp"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+namespace nistream::dwcs {
+
+ParallelShardExecutor::ParallelShardExecutor(rtos::WindKernel& kernel,
+                                             std::uint32_t shards,
+                                             int priority)
+    : kernel_{kernel}, idle_{kernel.engine()}, root_sem_{kernel.engine(), 0} {
+  const std::uint32_t n = shards == 0 ? 1 : shards;
+  shards_.reserve(n);
+  for (std::uint32_t s = 0; s < n; ++s) {
+    shards_.push_back(std::make_unique<ShardState>(kernel.engine()));
+    shards_[s]->task = &kernel.spawn("shard" + std::to_string(s), priority);
+  }
+  arbiter_task_ = &kernel.spawn("arbiter", priority);
+  // The loops start eagerly and immediately park on their empty queues;
+  // frames self-destroy after the shutdown() poison pill, so the handles can
+  // be dropped here.
+  for (std::uint32_t s = 0; s < n; ++s) shard_loop(s).detach();
+  arbiter_loop().detach();
+}
+
+void ParallelShardExecutor::post(std::uint32_t shard, Item item) {
+  assert(!shut_down_);
+  auto& st = *shards_[shard];
+  st.queue.push_back(item);
+  st.max_depth = std::max(st.max_depth, st.queue.size());
+  ++outstanding_;
+  st.sem.release();
+}
+
+void ParallelShardExecutor::mutation(std::uint32_t shard, StreamId /*id*/,
+                                     std::int64_t shard_cycles,
+                                     std::int64_t root_cycles) {
+  traced_ += shard_cycles + root_cycles;
+  post(shard, Item{shard_cycles, root_cycles, seq_++});
+}
+
+void ParallelShardExecutor::finish_decision(std::uint32_t shard,
+                                            std::int64_t total_delta) {
+  // Whatever the decision charged beyond its traced mutations — decision
+  // overhead, ring pops, window adjustments, stream-state touches — is
+  // service work on the dispatched stream, so it runs on the owning core.
+  const std::int64_t remainder = total_delta - std::exchange(traced_, 0);
+  assert(remainder >= 0 && "traced mutations exceed the decision's total");
+  if (remainder > 0) post(shard, Item{remainder, 0, seq_++});
+}
+
+void ParallelShardExecutor::shutdown() {
+  assert(!shut_down_ && outstanding_ == 0);
+  shut_down_ = true;
+  for (auto& st : shards_) {
+    st->queue.push_back(Item{0, 0, 0, /*poison=*/true});
+    st->sem.release();
+  }
+  root_queue_.push_back(Item{0, 0, 0, /*poison=*/true});
+  root_sem_.release();
+}
+
+sim::Coro ParallelShardExecutor::shard_loop(std::uint32_t s) {
+  auto& st = *shards_[s];
+  for (;;) {
+    co_await st.sem.acquire();
+    const Item item = st.queue.front();
+    st.queue.pop_front();
+    if (item.poison) co_return;
+    if (item.shard_cycles > 0) {
+      co_await st.task->consume_cycles(item.shard_cycles);
+    }
+    if (record_order_) st.consumed.push_back(item.seq);
+    if (item.root_cycles > 0) {
+      // The root portion starts only after the shard portion finished —
+      // same intra-mutation ordering as the serial scheduler.
+      root_queue_.push_back(item);
+      root_sem_.release();
+    } else {
+      complete();
+    }
+  }
+}
+
+sim::Coro ParallelShardExecutor::arbiter_loop() {
+  for (;;) {
+    co_await root_sem_.acquire();
+    const Item item = root_queue_.front();
+    root_queue_.pop_front();
+    if (item.poison) co_return;
+    if (item.root_cycles > 0) {
+      co_await arbiter_task_->consume_cycles(item.root_cycles);
+    }
+    complete();
+  }
+}
+
+}  // namespace nistream::dwcs

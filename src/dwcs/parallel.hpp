@@ -1,0 +1,164 @@
+// Simulated-parallel shard execution: replay a sharded scheduler's cycle
+// trace on an N-core WindKernel.
+//
+// The serial bench executes every shard mutation on the one host core running
+// the loop, so the hierarchical scheduler's N-fold parallel mutation capacity
+// existed only in prose (docs/performance.md, "Sharded NI scheduling",
+// reading 3). This executor makes it measurable in SIMULATED time:
+//
+//   * N equal-priority rtos:: tasks — one per shard — run on an N-core
+//     WindKernel (its SMP CpuScheduler genuinely runs N ready tasks in
+//     parallel). Each task drains a per-shard FIFO of work items, consuming
+//     each item's shard-engine cycles on its own core.
+//   * ONE arbiter task is the only serialization point: any mutation whose
+//     root-arbiter work is nonzero (winner recompute + root sifts +
+//     interconnect hop) forwards that portion to the arbiter's queue after
+//     its shard work completes, preserving the per-mutation shard-then-root
+//     ordering of the serial scheduler.
+//
+// The work items come from HierarchicalScheduler::set_exec_trace: the
+// scheduler still executes every decision EAGERLY and SERIALLY on the host
+// (so the dispatch sequence is bit-identical to serial execution — gated by
+// the FNV --identity hash, not assumed), while a ShardCycleMeter prices each
+// mutation and this class replays those prices as parallel simulated work.
+// Only TIME is modeled in parallel; STATE stays serial. That split is sound
+// because the rank order is total: the decision sequence does not depend on
+// which core finishes its sift first.
+//
+// Driving protocol (bench/scale_sweep.cpp, tests/dwcs/parallel_test.cpp):
+//   1. Build the scheduler over a ShardCycleMeter hook; do bulk setup.
+//   2. Attach: hier.set_exec_trace(&exec, &meter)  (AFTER setup).
+//   3. Per decision: t0 = meter.total(); sched.schedule_next(now);
+//      exec.finish_decision(shard_of(dispatched), meter.total() - t0) — the
+//      remainder beyond the traced mutations (decision overhead, ring ops,
+//      window adjustments, stream-state touches) bills the dispatched
+//      stream's shard: on a real board that service work runs on the core
+//      that owns the stream.
+//   4. co_await exec.fence() at round boundaries — a decision round has a
+//      well-defined simulated end time once every posted item is consumed.
+//   5. exec.shutdown() once, then run the engine until idle, before
+//      destroying the executor.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "dwcs/shard_exec.hpp"
+#include "rtos/wind.hpp"
+#include "sim/coro.hpp"
+
+namespace nistream::dwcs {
+
+class ParallelShardExecutor final : public ShardExecTrace {
+ public:
+  /// Spawns `shards` shard tasks plus one arbiter task, all at `priority`
+  /// (equal priority: shard work has no urgency order among peers; the
+  /// arbiter competes equally and stays responsive because shard tasks block
+  /// on empty queues — run-to-block, not run-to-quantum).
+  ParallelShardExecutor(rtos::WindKernel& kernel, std::uint32_t shards,
+                        int priority = 100);
+  ~ParallelShardExecutor() { assert(shut_down_ && outstanding_ == 0); }
+  ParallelShardExecutor(const ParallelShardExecutor&) = delete;
+  ParallelShardExecutor& operator=(const ParallelShardExecutor&) = delete;
+
+  // ShardExecTrace: one mutation's priced work, posted to shard `shard`.
+  void mutation(std::uint32_t shard, StreamId id, std::int64_t shard_cycles,
+                std::int64_t root_cycles) override;
+
+  /// End of one scheduling decision. `total_delta` is the meter's total cycle
+  /// delta across the whole schedule_next call; the remainder beyond the
+  /// traced mutations is posted to `shard` (the dispatched stream's owner) as
+  /// one more shard-work item. Resets the per-decision traced accumulator.
+  void finish_decision(std::uint32_t shard, std::int64_t total_delta);
+
+  /// Awaitable: resumes (via the engine, at the completing instant) once
+  /// every posted work item has been fully consumed. Ready immediately when
+  /// nothing is outstanding.
+  struct Fence {
+    ParallelShardExecutor& ex;
+    [[nodiscard]] bool await_ready() const noexcept {
+      return ex.outstanding_ == 0;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      ex.idle_.wait().await_suspend(h);
+    }
+    void await_resume() const noexcept {}
+  };
+  [[nodiscard]] Fence fence() { return Fence{*this}; }
+
+  /// Post a poison pill to every task so each exits its drain loop and its
+  /// coroutine frame self-destroys. Call exactly once, with nothing
+  /// outstanding (fence first), then run the engine until idle before
+  /// destroying the executor.
+  void shutdown();
+
+  [[nodiscard]] std::uint32_t shards() const {
+    return static_cast<std::uint32_t>(shards_.size());
+  }
+  [[nodiscard]] std::uint64_t outstanding() const { return outstanding_; }
+  [[nodiscard]] std::uint64_t total_items() const { return seq_; }
+  [[nodiscard]] std::size_t max_queue_depth(std::uint32_t s) const {
+    return shards_[s]->max_depth;
+  }
+  /// Simulated CPU time each shard task / the arbiter task consumed; the
+  /// arbiter share quantifies "the root is the only serialization point".
+  [[nodiscard]] sim::Time shard_cpu_time(std::uint32_t s) const {
+    return shards_[s]->task->cpu_time();
+  }
+  [[nodiscard]] sim::Time arbiter_cpu_time() const {
+    return arbiter_task_->cpu_time();
+  }
+
+  /// Record the global sequence number of every item as it is CONSUMED, per
+  /// shard (tests assert same-shard FIFO: a burst of mutations landing on one
+  /// shard back-to-back must drain in posting order). Off by default — the
+  /// log grows per mutation, which the bench does not want.
+  void set_record_order(bool on) { record_order_ = on; }
+  [[nodiscard]] const std::vector<std::uint64_t>& consumed_order(
+      std::uint32_t s) const {
+    return shards_[s]->consumed;
+  }
+
+ private:
+  struct Item {
+    std::int64_t shard_cycles = 0;
+    std::int64_t root_cycles = 0;
+    std::uint64_t seq = 0;
+    bool poison = false;
+  };
+  struct ShardState {
+    explicit ShardState(sim::Engine& eng) : sem{eng, 0} {}
+    sim::Semaphore sem;   // counts queued items
+    std::deque<Item> queue;
+    rtos::Task* task = nullptr;
+    std::vector<std::uint64_t> consumed;  // seq log (record_order_ only)
+    std::size_t max_depth = 0;
+  };
+
+  sim::Coro shard_loop(std::uint32_t s);
+  sim::Coro arbiter_loop();
+
+  void post(std::uint32_t shard, Item item);
+  void complete() {
+    assert(outstanding_ > 0);
+    if (--outstanding_ == 0) idle_.signal();
+  }
+
+  rtos::WindKernel& kernel_;
+  sim::Condition idle_;
+  std::vector<std::unique_ptr<ShardState>> shards_;
+  std::deque<Item> root_queue_;
+  sim::Semaphore root_sem_;
+  rtos::Task* arbiter_task_ = nullptr;
+  std::uint64_t outstanding_ = 0;  // items posted and not yet fully consumed
+  std::uint64_t seq_ = 0;          // global posting sequence
+  std::int64_t traced_ = 0;        // cycles traced since last finish_decision
+  bool record_order_ = false;
+  bool shut_down_ = false;
+};
+
+}  // namespace nistream::dwcs

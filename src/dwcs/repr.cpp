@@ -313,6 +313,7 @@ const char* to_string(PolicyKind policy) {
     case PolicyKind::kEdf: return "edf";
     case PolicyKind::kStaticPriority: return "static-priority";
     case PolicyKind::kWfq: return "wfq";
+    case PolicyKind::kTenantDwcs: return "tenant-dwcs";
   }
   return "?";
 }
@@ -351,6 +352,16 @@ std::unique_ptr<ScheduleRepr> make_repr(ReprKind kind, const StreamTable& table,
         case PolicyKind::kWfq:
           return std::make_unique<PifoRepr<WfqRank>>(table, WfqRank{}, hook,
                                                      heap_base);
+        case PolicyKind::kTenantDwcs:
+          // Tenant-DWCS is inherently a PIFO TREE — a shared scope tag moves
+          // every scope member's key at once, which one heap cannot track
+          // under the update-only-the-charged-stream contract (see the
+          // structural-requirement note on TenantDwcsRank). Build the
+          // scope-sharded hierarchical engine even for the flat kind.
+          return std::make_unique<HierarchicalScheduler>(
+              table, cmp, hook, heap_base,
+              HierarchicalParams{.shards = TenantDwcsRank::kDefaultScopes},
+              policy);
       }
       return nullptr;
   }

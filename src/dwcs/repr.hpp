@@ -103,6 +103,7 @@ enum class PolicyKind {
   kEdf,             // earliest deadline, id tie-break
   kStaticPriority,  // lowest stream id
   kWfq,             // weighted fair queueing (SCFQ virtual finish times)
+  kTenantDwcs,      // WFQ share across tenant scopes, DWCS within a scope
 };
 
 /// Knobs of the sharded multi-core representation (hierarchical.hpp). Lives

@@ -125,6 +125,10 @@ class DwcsScheduler final : public PacketScheduler, private StreamTable {
   }
   [[nodiscard]] const StreamParams& stream_params(StreamId id) const;
   [[nodiscard]] std::uint64_t decisions() const { return decisions_; }
+  /// The live representation. Callers that configured a specific ReprKind may
+  /// downcast (e.g. to HierarchicalScheduler to attach a shard-execution
+  /// trace); the scheduler itself only ever uses the ScheduleRepr interface.
+  [[nodiscard]] ScheduleRepr& repr() { return *repr_; }
   [[nodiscard]] std::uint64_t total_violations() const;
   [[nodiscard]] const Config& config() const { return config_; }
 
